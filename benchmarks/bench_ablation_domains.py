@@ -1,0 +1,79 @@
+"""Ablation — strict inequalities versus the neighbouring approaches.
+
+Section 5 of the paper positions the less-than analysis against two
+families: range/value-set based disambiguation (which fails on the
+motivating kernels because the index ranges overlap) and the ABCD
+demand-driven inequality algorithm (which reasons about the same strict
+orders, query by query).  This benchmark quantifies that comparison on the
+pointer-arithmetic kernel library:
+
+* ``RANGE`` — interval-overlap disambiguation only,
+* ``ABCD``  — demand-driven inequality-graph queries,
+* ``LT``    — the paper's analysis (transitive closure of less-than sets),
+* ``BA+LT`` — the full configuration used in the paper's tables.
+
+Expected shape: LT resolves strictly more queries than RANGE on the Figure 1
+kernels (RANGE resolves none of the ``v[i]``/``v[j]`` pairs), ABCD sits at or
+below LT, and BA+LT dominates everything.
+"""
+
+from harness import print_table, write_results
+
+from repro.alias import AliasAnalysisChain, BasicAliasAnalysis, evaluate_module
+from repro.core import (
+    ABCDAliasAnalysis,
+    RangeBasedAliasAnalysis,
+    StrictInequalityAliasAnalysis,
+)
+from repro.synth import kernel_module
+from repro.synth.spec_profiles import POINTER_KERNEL_POOL
+
+FIGURE1_KERNELS = ("ins_sort", "partition", "copy_reverse")
+
+
+def _evaluate_kernel(name):
+    module = kernel_module(name)
+    lt = StrictInequalityAliasAnalysis(module)       # also converts to e-SSA
+    analyses = {
+        "RANGE": RangeBasedAliasAnalysis(),
+        "ABCD": ABCDAliasAnalysis(),
+        "LT": lt,
+        "BA+LT": AliasAnalysisChain([BasicAliasAnalysis(), lt], name="ba+lt"),
+    }
+    row = {"kernel": name}
+    queries = None
+    for label, analysis in analyses.items():
+        evaluation = evaluate_module(module, analysis)
+        row[label] = evaluation.no_alias
+        queries = evaluation.total_queries
+    row["queries"] = queries
+    return row
+
+
+def test_ablation_lt_vs_abcd_vs_ranges(benchmark):
+    rows = [_evaluate_kernel(name) for name in POINTER_KERNEL_POOL]
+
+    benchmark(_evaluate_kernel, "ins_sort")
+
+    totals = {"kernel": "TOTAL"}
+    for key in ("RANGE", "ABCD", "LT", "BA+LT", "queries"):
+        totals[key] = sum(row[key] for row in rows)
+    rows.append(totals)
+    print_table("Ablation - no-alias answers per disambiguation approach", rows)
+    write_results("ablation_domains", rows)
+
+    by_name = {row["kernel"]: row for row in rows}
+
+    # --- shape checks -------------------------------------------------------
+    # The paper's motivation: interval reasoning resolves none of the
+    # v[i]/v[j] style queries of the Figure 1 kernels, LT resolves plenty.
+    for name in FIGURE1_KERNELS:
+        row = by_name[name]
+        assert row["LT"] > row["RANGE"], row
+        assert row["LT"] > 0
+    # ABCD reasons about the same inequalities on demand: it resolves queries
+    # on the motivating kernels too, but never more than the closure-based LT.
+    assert totals["ABCD"] > 0
+    assert totals["ABCD"] <= totals["LT"]
+    # The full configuration dominates every single approach.
+    assert totals["BA+LT"] >= totals["LT"] >= totals["RANGE"]

@@ -1,0 +1,81 @@
+"""Figure 12 — applicability: memory nodes of the Program Dependence Graph.
+
+The paper generates 120 random C programs with Csmith (single function plus
+``main``, constant indices, pointer nesting depth from 2 to 7, about six
+allocation sites per program) and builds each program's PDG twice: with the
+basic alias analysis, and with BA refined by the strict-inequality analysis.
+The metric is the number of memory nodes — more nodes mean a more precise
+graph.  The paper reports 1,299 memory nodes with BA versus 8,114 with
+BA + LT (a 6.23x increase).
+
+This harness repeats the experiment with the Csmith-like generator.  The
+absolute factor is smaller here (our basic analysis already folds the
+constant indices that dominate the generated code, and the generator is far
+simpler than Csmith), but the shape holds: BA + LT yields substantially more
+memory nodes than BA on every nesting depth, and never fewer.
+"""
+
+from harness import full_scale, print_table, write_results
+
+from repro.alias import AliasAnalysisChain, BasicAliasAnalysis
+from repro.core import StrictInequalityAliasAnalysis
+from repro.pdg import count_memory_nodes
+from repro.synth import generate_random_module
+
+#: the paper sweeps 6 nesting depths x 20 programs = 120 programs.
+DEPTHS = (2, 3, 4, 5, 6, 7)
+PROGRAMS_PER_DEPTH = 20 if full_scale() else 4
+
+
+def _measure_program(seed: int, depth: int):
+    module = generate_random_module(seed=seed, pointer_depth=depth,
+                                    statement_count=12, loop_count=6)
+    ba_nodes = count_memory_nodes(module, BasicAliasAnalysis())
+    chain = AliasAnalysisChain(
+        [BasicAliasAnalysis(), StrictInequalityAliasAnalysis(module)], name="ba+lt")
+    chain_nodes = count_memory_nodes(module, chain)
+    return ba_nodes, chain_nodes
+
+
+def test_figure12_pdg_memory_nodes(benchmark):
+    rows = []
+    total_ba = 0
+    total_chain = 0
+    for depth in DEPTHS:
+        depth_ba = 0
+        depth_chain = 0
+        for index in range(PROGRAMS_PER_DEPTH):
+            ba_nodes, chain_nodes = _measure_program(seed=depth * 1000 + index, depth=depth)
+            depth_ba += ba_nodes
+            depth_chain += chain_nodes
+        rows.append({
+            "pointer_depth": depth,
+            "programs": PROGRAMS_PER_DEPTH,
+            "BA_nodes": depth_ba,
+            "BA+LT_nodes": depth_chain,
+            "gain": round(depth_chain / depth_ba, 2) if depth_ba else float("nan"),
+        })
+        total_ba += depth_ba
+        total_chain += depth_chain
+
+    benchmark(_measure_program, 424242, 4)
+
+    rows.append({
+        "pointer_depth": "ALL",
+        "programs": PROGRAMS_PER_DEPTH * len(DEPTHS),
+        "BA_nodes": total_ba,
+        "BA+LT_nodes": total_chain,
+        "gain": round(total_chain / total_ba, 2),
+    })
+    print_table("Figure 12 - PDG memory nodes (BA vs BA + LT)", rows)
+    write_results("fig12_pdg_memnodes", rows)
+
+    # --- shape checks -------------------------------------------------------
+    # The combination never produces fewer memory nodes, and overall it is
+    # substantially more precise (the paper reports 6.23x; our generator and
+    # stronger BA yield a smaller but clearly visible factor).
+    assert all(row["BA+LT_nodes"] >= row["BA_nodes"] for row in rows)
+    assert total_chain >= 1.25 * total_ba
+    # As in the paper, the result does not depend on the nesting depth: the
+    # gain is visible in every depth bucket.
+    assert all(row["BA+LT_nodes"] > row["BA_nodes"] for row in rows[:-1])

@@ -1,0 +1,67 @@
+"""Shared helpers for the benchmark harness.
+
+Every figure/table of the paper's evaluation section has one module in this
+directory.  Each module
+
+* builds its workload,
+* computes the rows of the corresponding figure or table,
+* prints them (run ``pytest benchmarks/ --benchmark-only -s`` to see them),
+* writes them to ``benchmarks/results/<name>.csv`` so that the data survives
+  output capturing, and
+* feeds the core computation to ``pytest-benchmark`` so timing is recorded.
+
+Scale: the paper analyses SPEC and the LLVM test-suite, which are orders of
+magnitude larger than what a unit-test-sized harness should chew through.
+By default the harness uses reduced-but-representative workload sizes; set
+``REPRO_FULL=1`` in the environment to run the full-scale configuration
+(100 test-suite programs, 120 random programs, ...), which takes several
+minutes.
+"""
+
+import csv
+import os
+import sys
+from typing import Dict, List, Sequence
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def full_scale() -> bool:
+    """True when the full-scale (paper-sized) configuration is requested."""
+    return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false", "no")
+
+
+def write_results(name: str, rows: Sequence[Dict[str, object]]) -> str:
+    """Write ``rows`` to ``benchmarks/results/<name>.csv`` and return the path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name + ".csv")
+    if not rows:
+        return path
+    fieldnames = list(rows[0].keys())
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def print_table(title: str, rows: Sequence[Dict[str, object]]) -> None:
+    """Print rows as an aligned text table (visible with ``-s``)."""
+    print()
+    print("=" * len(title))
+    print(title)
+    print("=" * len(title))
+    if not rows:
+        print("(no rows)")
+        return
+    headers = list(rows[0].keys())
+    widths = {h: max(len(str(h)), max(len(str(r[h])) for r in rows)) for h in headers}
+    print("  ".join(str(h).ljust(widths[h]) for h in headers))
+    for row in rows:
+        print("  ".join(str(row[h]).ljust(widths[h]) for h in headers))
+    print()

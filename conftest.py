@@ -1,0 +1,13 @@
+"""Pytest root configuration.
+
+Makes the ``src`` layout importable even when the package has not been
+installed (offline environments without the ``wheel`` package cannot build
+editable installs).  When ``repro`` is already installed this is a no-op.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

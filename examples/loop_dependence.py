@@ -1,0 +1,71 @@
+"""Using the alias analyses as a client: loop dependence screening.
+
+A vectoriser (or any loop transformation) must know whether the memory
+accesses of a loop body can refer to the same location.  This example shows
+how the strict-inequality analysis answers that question for three loops:
+
+* ``memcopy``       — ``dst[i] = src[i]``: independent only if ``dst`` and
+  ``src`` do not overlap (neither BA nor LT can prove that for arbitrary
+  arguments, so the loop stays "may depend");
+* ``copy_reverse``  — ``v[i] = v[j]`` with ``i < j``: LT proves the read and
+  the write never touch the same cell in an iteration;
+* ``prefix_sum``    — ``v[i] = v[i] + v[i-1]``: a genuine loop-carried
+  dependence; no analysis may (or does) claim independence.
+
+Run with::
+
+    python examples/loop_dependence.py
+"""
+
+from repro.alias import AliasAnalysisChain, AliasResult, BasicAliasAnalysis, MemoryLocation
+from repro.core import StrictInequalityAliasAnalysis
+from repro.ir.instructions import Load, Store
+from repro.ir.loops import LoopInfo
+from repro.synth import kernel_module
+
+
+def classify_loop(module, function_name: str) -> str:
+    """Return a human-readable verdict about the innermost loop's accesses."""
+    function = module.get_function(function_name)
+    strict = StrictInequalityAliasAnalysis(module)
+    chain = AliasAnalysisChain([BasicAliasAnalysis(), strict], name="ba+lt")
+    loops = LoopInfo(function)
+    if not loops.loops:
+        return "no loop found"
+    loop = min(loops.loops, key=lambda l: len(l.blocks))
+    loads = []
+    stores = []
+    for block in loop.blocks:
+        for inst in block.instructions:
+            if isinstance(inst, Load):
+                loads.append(inst)
+            elif isinstance(inst, Store):
+                stores.append(inst)
+    conflicts = []
+    for store in stores:
+        for load in loads:
+            if store.pointer is load.pointer:
+                conflicts.append((store, load, AliasResult.MUST_ALIAS))
+                continue
+            verdict = chain.alias(MemoryLocation(store.pointer), MemoryLocation(load.pointer))
+            if verdict is not AliasResult.NO_ALIAS:
+                conflicts.append((store, load, verdict))
+    if not conflicts:
+        return "independent: every store is disjoint from every load in the body"
+    descriptions = ", ".join("store %{} vs load %{} ({})".format(
+        s.pointer.name, l.pointer.name, v) for s, l, v in conflicts)
+    return "may depend: " + descriptions
+
+
+def main() -> None:
+    for name in ("memcopy", "copy_reverse", "prefix_sum"):
+        module = kernel_module(name)
+        print("{:15s} -> {}".format(name, classify_loop(module, name)))
+    print()
+    print("copy_reverse is the paper's introduction example: only the")
+    print("strict less-than relation i < j lets the compiler treat the")
+    print("body's read and write as independent within one iteration.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Quickstart: disambiguate the pointers of the paper's motivating example.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script compiles the insertion-sort routine of Figure 1(a) of the paper
+(*Pointer Disambiguation via Strict Inequalities*, CGO 2017), runs the
+strict-inequality (less-than) analysis, and shows that the accesses ``v[i]``
+and ``v[j]`` of the inner loop can never touch the same memory cell — a fact
+the basic alias analysis cannot establish.
+"""
+
+from repro.alias import AliasAnalysisChain, BasicAliasAnalysis, evaluate_module
+from repro.core import PointerDisambiguator, StrictInequalityAliasAnalysis
+from repro.frontend import compile_source
+from repro.ir import print_function
+from repro.ir.instructions import GetElementPtr, Load, Store
+
+INS_SORT = """
+void ins_sort(int* v, int N) {
+  int i, j;
+  for (i = 0; i < N - 1; i++) {
+    for (j = i + 1; j < N; j++) {
+      if (v[i] > v[j]) {
+        int tmp = v[i];
+        v[i] = v[j];
+        v[j] = tmp;
+      }
+    }
+  }
+}
+"""
+
+
+def main() -> None:
+    # 1. Compile the C-like source down to the SSA IR.
+    module = compile_source(INS_SORT, module_name="quickstart")
+    function = module.get_function("ins_sort")
+    print("=== IR after SSA construction ===")
+    print(print_function(function))
+    print()
+
+    # 2. Build the alias analyses: the basic one (BA) and the
+    #    strict-inequality one (LT).  Constructing the LT analysis converts
+    #    the module to e-SSA form and solves the less-than constraints.
+    basic = BasicAliasAnalysis()
+    strict = StrictInequalityAliasAnalysis(module)
+    chain = AliasAnalysisChain([basic, strict], name="BA + LT")
+
+    # 3. Ask about the memory accesses of the inner loop.
+    accesses = [inst.pointer for inst in function.instructions()
+                if isinstance(inst, (Load, Store)) and isinstance(inst.pointer, GetElementPtr)]
+    disambiguator = PointerDisambiguator(strict.analysis)
+    print("=== Pairwise verdicts for the v[...] accesses ===")
+    for i in range(len(accesses)):
+        for j in range(i + 1, len(accesses)):
+            a, b = accesses[i], accesses[j]
+            if a.index is b.index:
+                continue
+            print("  {:>4} vs {:<4}  BA: {:<9}  LT: {:<9}  reason: {}".format(
+                "%" + a.name, "%" + b.name,
+                str(basic.alias_values(a, b)),
+                str(strict.alias_values(a, b)),
+                disambiguator.disambiguate(a, b).value))
+    print()
+
+    # 4. Aggregate statistics, aa-eval style.
+    for label, analysis in (("BA", basic), ("LT", strict), ("BA + LT", chain)):
+        evaluation = evaluate_module(module, analysis)
+        print("{:8s} resolved {:3d} of {:3d} pointer pairs ({:.1%})".format(
+            label, evaluation.no_alias, evaluation.total_queries, evaluation.no_alias_ratio))
+
+
+if __name__ == "__main__":
+    main()

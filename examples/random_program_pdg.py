@@ -1,0 +1,59 @@
+"""The applicability experiment (Figure 12) on a single random program.
+
+Generates one Csmith-like program, builds its Program Dependence Graph twice
+— once with the basic alias analysis alone and once with BA chained with the
+strict-inequality analysis — and reports how many memory nodes each version
+has.  More memory nodes means a more precise graph: references that fall
+into the same node are the ones the analysis could not tell apart.
+
+Run with::
+
+    python examples/random_program_pdg.py [seed] [pointer_depth]
+
+The DOT renderings of both graphs are written next to this script so they
+can be inspected with Graphviz.
+"""
+
+import os
+import sys
+
+from repro.alias import AliasAnalysisChain, BasicAliasAnalysis
+from repro.core import StrictInequalityAliasAnalysis
+from repro.pdg import build_pdg
+from repro.synth import generate_random_module
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 42
+    depth = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+    module = generate_random_module(seed=seed, pointer_depth=depth,
+                                    statement_count=25, loop_count=3)
+    work = module.get_function("work")
+    print("Generated program: seed={}, pointer depth={}, {} IR instructions".format(
+        seed, depth, module.instruction_count()))
+
+    basic = BasicAliasAnalysis()
+    strict = StrictInequalityAliasAnalysis(module)
+    chain = AliasAnalysisChain([basic, strict], name="ba+lt")
+
+    pdg_ba = build_pdg(work, basic)
+    pdg_chain = build_pdg(work, chain)
+
+    print("Memory nodes with BA alone : {}".format(pdg_ba.memory_node_count))
+    print("Memory nodes with BA + LT  : {}".format(pdg_chain.memory_node_count))
+    ratio = (pdg_chain.memory_node_count / pdg_ba.memory_node_count
+             if pdg_ba.memory_node_count else float("nan"))
+    print("Precision gain             : {:.2f}x".format(ratio))
+
+    out_dir = os.path.dirname(os.path.abspath(__file__))
+    ba_path = os.path.join(out_dir, "pdg_ba.dot")
+    chain_path = os.path.join(out_dir, "pdg_ba_lt.dot")
+    with open(ba_path, "w", encoding="utf-8") as handle:
+        handle.write(pdg_ba.to_dot())
+    with open(chain_path, "w", encoding="utf-8") as handle:
+        handle.write(pdg_chain.to_dot())
+    print("DOT files written to {} and {}".format(ba_path, chain_path))
+
+
+if __name__ == "__main__":
+    main()

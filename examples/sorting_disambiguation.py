@@ -1,0 +1,63 @@
+"""Figure 1 of the paper, end to end.
+
+Compiles both motivating kernels (insertion sort and the quicksort
+partition), executes them with the reference interpreter to show they are
+real, runnable programs, and then compares three alias analyses on every
+pair of array accesses:
+
+* ``BA``       — the basic alias analysis (LLVM's ``basicaa`` heuristics),
+* ``LT``       — the strict-inequality analysis of the paper,
+* ``BA + LT``  — the chain of both, which is how the paper evaluates them.
+
+Run with::
+
+    python examples/sorting_disambiguation.py
+"""
+
+from repro.alias import AliasAnalysisChain, BasicAliasAnalysis, evaluate_function
+from repro.core import StrictInequalityAliasAnalysis
+from repro.ir.interpreter import Interpreter
+from repro.synth import KERNEL_SOURCES, kernel_module
+
+
+def run_kernel(name: str, values):
+    """Execute the kernel on concrete data and return the resulting array."""
+    module = kernel_module(name)
+    interpreter = Interpreter(module)
+    array = interpreter.allocate_array(list(values))
+    interpreter.run(name, [array, len(values)])
+    return interpreter.read_array(array, len(values))
+
+
+def analyse_kernel(name: str) -> None:
+    module = kernel_module(name)
+    function = module.get_function(name)
+    basic = BasicAliasAnalysis()
+    strict = StrictInequalityAliasAnalysis(module)
+    chain = AliasAnalysisChain([basic, strict], name="ba+lt")
+    print("--- {} ---".format(name))
+    for label, analysis in (("BA", basic), ("LT", strict), ("BA + LT", chain)):
+        evaluation = evaluate_function(function, analysis)
+        print("  {:8s} no-alias {:3d} / {:3d} pairs ({:.1%})".format(
+            label, evaluation.no_alias, evaluation.total_queries, evaluation.no_alias_ratio))
+    print()
+
+
+def main() -> None:
+    print("=== Running the kernels on concrete inputs ===")
+    unsorted = [9, 3, 7, 1, 8, 2]
+    print("ins_sort({})   -> {}".format(unsorted, run_kernel("ins_sort", unsorted)))
+    print("partition({})  -> {}".format(unsorted, run_kernel("partition", unsorted)))
+    print()
+
+    print("=== Static disambiguation (the paper's Figure 1 claim) ===")
+    for name in ("ins_sort", "partition", "copy_reverse"):
+        analyse_kernel(name)
+
+    print("The v[i] / v[j] accesses are resolved only once the strict")
+    print("less-than relation i < j is known - interval reasoning cannot")
+    print("separate them because the ranges of i and j overlap.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,132 @@
+"""The alias-analysis evaluator (LLVM's ``aa-eval`` pass).
+
+The evaluation methodology of the paper is built on ``aa-eval``: within each
+function, every pair of pointer values is queried and the analysis is scored
+by the fraction of pairs it reports as NoAlias.  This module reimplements
+that harness: it collects the pointer values of a function, issues one query
+per unordered pair, and aggregates verdict counts per function, per module
+and per benchmark suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.alias.interface import AliasAnalysis
+from repro.alias.results import AliasResult, MemoryLocation
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.module import Module
+from repro.ir.values import Argument, Value
+
+
+class AliasEvaluation:
+    """Aggregated verdict counts for a set of alias queries."""
+
+    def __init__(self) -> None:
+        self.no_alias = 0
+        self.may_alias = 0
+        self.partial_alias = 0
+        self.must_alias = 0
+
+    @property
+    def total_queries(self) -> int:
+        return self.no_alias + self.may_alias + self.partial_alias + self.must_alias
+
+    @property
+    def no_alias_ratio(self) -> float:
+        total = self.total_queries
+        return self.no_alias / total if total else 0.0
+
+    def record(self, result: AliasResult) -> None:
+        if result is AliasResult.NO_ALIAS:
+            self.no_alias += 1
+        elif result is AliasResult.MUST_ALIAS:
+            self.must_alias += 1
+        elif result is AliasResult.PARTIAL_ALIAS:
+            self.partial_alias += 1
+        else:
+            self.may_alias += 1
+
+    def merge(self, other: "AliasEvaluation") -> "AliasEvaluation":
+        merged = AliasEvaluation()
+        merged.no_alias = self.no_alias + other.no_alias
+        merged.may_alias = self.may_alias + other.may_alias
+        merged.partial_alias = self.partial_alias + other.partial_alias
+        merged.must_alias = self.must_alias + other.must_alias
+        return merged
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "queries": self.total_queries,
+            "no_alias": self.no_alias,
+            "may_alias": self.may_alias,
+            "partial_alias": self.partial_alias,
+            "must_alias": self.must_alias,
+            "no_alias_ratio": self.no_alias_ratio,
+        }
+
+    def __repr__(self) -> str:
+        return "<AliasEvaluation queries={} no-alias={} ({:.1%})>".format(
+            self.total_queries, self.no_alias, self.no_alias_ratio)
+
+
+def collect_pointer_values(function: Function) -> List[Value]:
+    """Every pointer-typed SSA value of ``function`` (arguments first)."""
+    pointers: List[Value] = []
+    for argument in function.arguments:
+        if argument.type.is_pointer():
+            pointers.append(argument)
+    for inst in function.instructions():
+        if inst.produces_value() and inst.type.is_pointer():
+            pointers.append(inst)
+    return pointers
+
+
+def evaluate_function(function: Function, analysis: AliasAnalysis,
+                      size: Optional[int] = 1) -> AliasEvaluation:
+    """Query every unordered pair of pointer values of ``function``."""
+    analysis.prepare_function(function)
+    pointers = collect_pointer_values(function)
+    evaluation = AliasEvaluation()
+    for i in range(len(pointers)):
+        loc_i = MemoryLocation(pointers[i], size)
+        for j in range(i + 1, len(pointers)):
+            loc_j = MemoryLocation(pointers[j], size)
+            evaluation.record(analysis.alias(loc_i, loc_j))
+    return evaluation
+
+
+def evaluate_module(module: Module, analysis: AliasAnalysis,
+                    size: Optional[int] = 1) -> AliasEvaluation:
+    """Evaluate every defined function of ``module`` and sum the counts."""
+    evaluation = AliasEvaluation()
+    for function in module.defined_functions():
+        evaluation = evaluation.merge(evaluate_function(function, analysis, size))
+    return evaluation
+
+
+class AliasEvaluator:
+    """Convenience wrapper comparing several analyses on the same modules.
+
+    Used by the benchmark harness: feed it named analyses, call
+    :meth:`evaluate` per module (benchmark program), and read back one row
+    per (module, analysis) pair.
+    """
+
+    def __init__(self, analyses: Dict[str, AliasAnalysis]) -> None:
+        self.analyses = dict(analyses)
+        self.rows: List[Dict[str, object]] = []
+
+    def evaluate(self, name: str, module: Module) -> Dict[str, AliasEvaluation]:
+        results: Dict[str, AliasEvaluation] = {}
+        for label, analysis in self.analyses.items():
+            results[label] = evaluate_module(module, analysis)
+        row: Dict[str, object] = {"benchmark": name}
+        for label, evaluation in results.items():
+            row["{}_no_alias".format(label)] = evaluation.no_alias
+            row["{}_ratio".format(label)] = evaluation.no_alias_ratio
+        first = next(iter(results.values()))
+        row["queries"] = first.total_queries
+        self.rows.append(row)
+        return results

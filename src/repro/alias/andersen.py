@@ -1,0 +1,224 @@
+"""Inclusion-based (Andersen-style) points-to analysis.
+
+The paper compares ``BA + LT`` against ``BA + CF``, where CF is a
+CFL-reachability formulation of inclusion-based alias analysis.  Both CF and
+Andersen's classic algorithm compute the same points-to relation for the
+queries the evaluation performs, so this module serves as the CF stand-in.
+
+The analysis is interprocedural, flow- and context-insensitive and
+field-insensitive: ``gep`` is treated as a copy of its base pointer.  Unknown
+pointers (function arguments of externally visible functions, loaded values
+with no visible producer) point to a distinguished ``UNKNOWN`` object that
+may alias anything.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.alias.interface import AliasAnalysis
+from repro.alias.results import AliasResult, MemoryLocation
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    Call,
+    Copy,
+    GetElementPtr,
+    Load,
+    Malloc,
+    Phi,
+    Return,
+    Store,
+)
+from repro.ir.module import Module
+from repro.ir.values import Argument, GlobalVariable, NullPointer, Value
+from repro.util.worklist import Worklist
+
+#: The abstract object standing for "anything we cannot see".
+UNKNOWN = "<unknown>"
+
+
+class AndersenPointsTo:
+    """Computes points-to sets for every pointer value of a module."""
+
+    def __init__(self, module: Module, assume_external_calls: bool = True) -> None:
+        self.module = module
+        #: whether functions may additionally be called from outside the
+        #: module (their arguments then point to UNKNOWN).
+        self.assume_external_calls = assume_external_calls
+        self.points_to: Dict[Value, Set[object]] = {}
+        self._copy_edges: Dict[Value, List[Value]] = {}
+        self._loads: List[Tuple[Value, Value]] = []    # (result, address)
+        self._stores: List[Tuple[Value, Value]] = []   # (stored value, address)
+        self._object_contents: Dict[object, Set[object]] = {}
+        self._build_constraints()
+        self._solve()
+
+    # -- constraint construction -----------------------------------------------------
+    def _pts(self, value: Value) -> Set[object]:
+        return self.points_to.setdefault(value, set())
+
+    def _add_copy(self, source: Value, target: Value) -> None:
+        self._copy_edges.setdefault(source, []).append(target)
+
+    def _build_constraints(self) -> None:
+        called_functions = set()
+        for function in self.module.functions:
+            for inst in function.instructions():
+                if isinstance(inst, Call):
+                    called_functions.add(inst.callee)
+        for function in self.module.functions:
+            externally_visible = (
+                self.assume_external_calls and function not in called_functions)
+            for argument in function.arguments:
+                if argument.type.is_pointer():
+                    self._pts(argument)
+                    if externally_visible:
+                        self._pts(argument).add(UNKNOWN)
+            for inst in function.instructions():
+                self._constrain_instruction(inst)
+
+    def _constrain_instruction(self, inst) -> None:
+        if isinstance(inst, (Alloca, Malloc)):
+            self._pts(inst).add(inst)
+        elif isinstance(inst, GetElementPtr):
+            self._pts(inst)
+            self._add_copy(inst.base, inst)
+        elif isinstance(inst, Copy):
+            if inst.type.is_pointer():
+                self._pts(inst)
+                self._add_copy(inst.source, inst)
+        elif isinstance(inst, Phi):
+            if inst.type.is_pointer():
+                self._pts(inst)
+                for value, _block in inst.incoming():
+                    if isinstance(value, NullPointer):
+                        continue
+                    self._add_copy(value, inst)
+        elif isinstance(inst, Load):
+            if inst.type.is_pointer():
+                self._pts(inst)
+                self._loads.append((inst, inst.pointer))
+        elif isinstance(inst, Store):
+            if inst.value.type.is_pointer():
+                self._stores.append((inst.value, inst.pointer))
+        elif isinstance(inst, Call):
+            callee = inst.callee
+            for index, actual in enumerate(inst.arguments):
+                if index >= len(callee.arguments):
+                    continue
+                formal = callee.arguments[index]
+                if formal.type.is_pointer() and actual.type.is_pointer():
+                    self._pts(formal)
+                    self._add_copy(actual, formal)
+            if inst.produces_value() and inst.type.is_pointer():
+                self._pts(inst)
+                if callee.is_declaration():
+                    self._pts(inst).add(UNKNOWN)
+                else:
+                    for block in callee.blocks:
+                        terminator = block.terminator
+                        if isinstance(terminator, Return) and terminator.value is not None:
+                            self._add_copy(terminator.value, inst)
+        # Globals are their own objects; they are handled lazily in _seed.
+
+    def _seed_value(self, value: Value) -> None:
+        if isinstance(value, GlobalVariable):
+            self._pts(value).add(value)
+        elif value not in self.points_to and isinstance(value, (Argument, Load, Call)):
+            # A pointer with no visible producer: anything.
+            if value.type.is_pointer():
+                self._pts(value).add(UNKNOWN)
+
+    # -- solving --------------------------------------------------------------------------
+    def _solve(self) -> None:
+        # Seed global variables and any pointer mentioned in copy edges.
+        for source in list(self._copy_edges):
+            self._seed_value(source)
+        for result, address in self._loads + self._stores:
+            self._seed_value(address)
+            self._seed_value(result)
+
+        worklist: Worklist[Value] = Worklist(self.points_to.keys())
+        while worklist:
+            value = worklist.pop()
+            current = frozenset(self._pts(value))
+            # Propagate along copy edges.
+            for target in self._copy_edges.get(value, []):
+                if not current <= self._pts(target):
+                    self._pts(target).update(current)
+                    worklist.push(target)
+            # Complex constraints are re-checked globally; with the small
+            # modules this project analyses this stays fast and is simple.
+            changed = self._apply_memory_constraints()
+            for changed_value in changed:
+                worklist.push(changed_value)
+
+    def _apply_memory_constraints(self) -> List[Value]:
+        changed: List[Value] = []
+        for result, address in self._loads:
+            for obj in list(self._pts(address)):
+                contents = self._object_contents.setdefault(obj, set())
+                if obj is UNKNOWN:
+                    contents.add(UNKNOWN)
+                if not contents <= self._pts(result):
+                    self._pts(result).update(contents)
+                    changed.append(result)
+        for value, address in self._stores:
+            value_pts = self._pts(value) if value in self.points_to else {UNKNOWN}
+            for obj in list(self._pts(address)):
+                contents = self._object_contents.setdefault(obj, set())
+                if not value_pts <= contents:
+                    contents.update(value_pts)
+                    # Objects are not worklist items; loads from them are
+                    # re-examined on the next call of this method.
+        return changed
+
+    # -- queries -------------------------------------------------------------------------
+    def points_to_set(self, pointer: Value) -> FrozenSet[object]:
+        if pointer in self.points_to:
+            return frozenset(self.points_to[pointer])
+        # Walk through derived pointers.
+        if isinstance(pointer, GetElementPtr):
+            return self.points_to_set(pointer.base)
+        if isinstance(pointer, Copy):
+            return self.points_to_set(pointer.source)
+        if isinstance(pointer, GlobalVariable):
+            return frozenset({pointer})
+        return frozenset({UNKNOWN})
+
+    def may_alias(self, a: Value, b: Value) -> bool:
+        pts_a = self.points_to_set(a)
+        pts_b = self.points_to_set(b)
+        if not pts_a or not pts_b:
+            return True
+        if UNKNOWN in pts_a or UNKNOWN in pts_b:
+            return True
+        return bool(pts_a & pts_b)
+
+
+class AndersenAliasAnalysis(AliasAnalysis):
+    """Alias-analysis facade over :class:`AndersenPointsTo` (the paper's CF)."""
+
+    name = "cf"
+
+    def __init__(self, module: Optional[Module] = None) -> None:
+        self._points_to: Optional[AndersenPointsTo] = None
+        if module is not None:
+            self.prepare_module(module)
+
+    def prepare_module(self, module: Module) -> None:
+        self._points_to = AndersenPointsTo(module)
+
+    def prepare_function(self, function: Function) -> None:
+        if self._points_to is None and function.parent is not None:
+            self.prepare_module(function.parent)
+
+    def alias(self, loc_a: MemoryLocation, loc_b: MemoryLocation) -> AliasResult:
+        if self._points_to is None:
+            return AliasResult.MAY_ALIAS
+        if loc_a.pointer is loc_b.pointer:
+            return AliasResult.MUST_ALIAS
+        if not self._points_to.may_alias(loc_a.pointer, loc_b.pointer):
+            return AliasResult.NO_ALIAS
+        return AliasResult.MAY_ALIAS

@@ -1,0 +1,113 @@
+"""The basic alias analysis (``BA`` in the paper, LLVM's ``basicaa``).
+
+A stateless collection of heuristics that resolve the majority of easy
+queries, mostly by tracking every pointer back to the object it was derived
+from:
+
+* pointers rooted at *different* allocation sites (``alloca``, ``malloc``,
+  globals) never alias;
+* a function-local allocation whose address is taken inside the function
+  never aliases an incoming pointer argument;
+* the null pointer aliases nothing;
+* two pointers derived from the same base with *constant* offsets alias only
+  when their access windows overlap — equal offsets are a must-alias,
+  disjoint windows are a no-alias.
+
+The strict-inequality analysis is deliberately complementary to these rules:
+BA knows nothing about *variable* offsets, which is exactly where the
+less-than analysis contributes (Section 3.6 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.alias.interface import AliasAnalysis
+from repro.alias.results import AliasResult, MemoryLocation
+from repro.ir.instructions import Alloca, Call, Copy, GetElementPtr, Load, Malloc, Phi
+from repro.ir.values import Argument, GlobalVariable, NullPointer, Value
+
+
+def underlying_object_and_offset(pointer: Value) -> Tuple[Value, Optional[int]]:
+    """Walk ``gep`` and ``copy`` chains back to the underlying object.
+
+    Returns the object plus the accumulated constant offset, or ``None`` for
+    the offset as soon as a non-constant index is crossed.
+    """
+    current = pointer
+    offset: Optional[int] = 0
+    while True:
+        if isinstance(current, GetElementPtr):
+            index = current.constant_index()
+            if offset is not None and index is not None:
+                offset += index
+            else:
+                offset = None
+            current = current.base
+            continue
+        if isinstance(current, Copy):
+            current = current.source
+            continue
+        return current, offset
+
+
+def is_identified_object(value: Value) -> bool:
+    """Objects whose identity is known exactly: stack, heap and global storage."""
+    return isinstance(value, (Alloca, Malloc, GlobalVariable))
+
+
+def is_identified_local(value: Value) -> bool:
+    """Function-local allocations (not visible to callers)."""
+    return isinstance(value, (Alloca, Malloc))
+
+
+class BasicAliasAnalysis(AliasAnalysis):
+    """Stateless heuristics in the spirit of LLVM's ``basicaa``."""
+
+    name = "basicaa"
+
+    def alias(self, loc_a: MemoryLocation, loc_b: MemoryLocation) -> AliasResult:
+        ptr_a, ptr_b = loc_a.pointer, loc_b.pointer
+        if ptr_a is ptr_b:
+            return AliasResult.MUST_ALIAS
+
+        obj_a, off_a = underlying_object_and_offset(ptr_a)
+        obj_b, off_b = underlying_object_and_offset(ptr_b)
+
+        # The null pointer does not alias any identified object (dereferencing
+        # it is undefined behaviour anyway).
+        if isinstance(obj_a, NullPointer) or isinstance(obj_b, NullPointer):
+            if obj_a is not obj_b:
+                return AliasResult.NO_ALIAS
+
+        if obj_a is obj_b:
+            return self._same_object(loc_a, loc_b, off_a, off_b)
+
+        # Two distinct identified allocation sites cannot overlap.
+        if is_identified_object(obj_a) and is_identified_object(obj_b):
+            return AliasResult.NO_ALIAS
+
+        # A local allocation cannot alias a pointer that flowed in from the
+        # caller (arguments) or out of memory (loads) because its address has
+        # not escaped through those channels within well-formed programs.
+        for local, other in ((obj_a, obj_b), (obj_b, obj_a)):
+            if is_identified_local(local) and isinstance(other, (Argument, Load, Call)):
+                return AliasResult.NO_ALIAS
+
+        return AliasResult.MAY_ALIAS
+
+    def _same_object(self, loc_a: MemoryLocation, loc_b: MemoryLocation,
+                     off_a: Optional[int], off_b: Optional[int]) -> AliasResult:
+        """Both pointers address the same object; compare constant offsets."""
+        if off_a is None or off_b is None:
+            return AliasResult.MAY_ALIAS
+        if off_a == off_b:
+            return AliasResult.MUST_ALIAS
+        size_a = loc_a.size if loc_a.size is not None else None
+        size_b = loc_b.size if loc_b.size is not None else None
+        if size_a is None or size_b is None:
+            return AliasResult.MAY_ALIAS
+        # Disjoint access windows [off, off + size) never overlap.
+        if off_a + size_a <= off_b or off_b + size_b <= off_a:
+            return AliasResult.NO_ALIAS
+        return AliasResult.PARTIAL_ALIAS

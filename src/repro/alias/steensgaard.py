@@ -1,0 +1,159 @@
+"""Unification-based (Steensgaard-style) points-to analysis.
+
+Provided as an additional classic baseline (the paper cites Steensgaard's
+almost-linear-time analysis as one of the foundational approaches).  The
+implementation is deliberately simple: points-to sets are merged with a
+union-find whenever a copy-like constraint links two pointers, which makes
+the analysis coarser but very fast — exactly the trade-off the original
+algorithm makes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.alias.interface import AliasAnalysis
+from repro.alias.results import AliasResult, MemoryLocation
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    Call,
+    Copy,
+    GetElementPtr,
+    Load,
+    Malloc,
+    Phi,
+    Return,
+    Store,
+)
+from repro.ir.module import Module
+from repro.ir.values import Argument, GlobalVariable, Value
+from repro.util.unionfind import UnionFind
+
+#: abstract object for pointers whose origin is invisible to the module.
+UNKNOWN = "<unknown>"
+
+
+class SteensgaardPointsTo:
+    """Computes unified alias classes for the pointers of a module."""
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        # Every pointer variable owns an abstract "pointee class"; copies
+        # unify the pointee classes of their endpoints.
+        self._pointee_class = UnionFind()
+        self._class_objects: Dict[object, Set[object]] = {}
+        self._build()
+
+    # -- helpers --------------------------------------------------------------------
+    def _class_of(self, pointer: Value) -> object:
+        return self._pointee_class.find(("pointee", id(pointer), pointer.name))
+
+    def _add_object(self, pointer: Value, obj: object) -> None:
+        root = self._class_of(pointer)
+        self._class_objects.setdefault(root, set()).add(obj)
+
+    def _unify(self, a: Value, b: Value) -> None:
+        root_a, root_b = self._class_of(a), self._class_of(b)
+        if root_a == root_b:
+            return
+        merged = self._pointee_class.union(root_a, root_b)
+        objects = self._class_objects.pop(root_a, set()) | self._class_objects.pop(root_b, set())
+        if objects:
+            self._class_objects.setdefault(merged, set()).update(objects)
+
+    # -- constraint collection ---------------------------------------------------------
+    def _build(self) -> None:
+        called = set()
+        for function in self.module.functions:
+            for inst in function.instructions():
+                if isinstance(inst, Call):
+                    called.add(inst.callee)
+        for gv in self.module.globals:
+            self._add_object(gv, gv)
+        for function in self.module.functions:
+            for argument in function.arguments:
+                if argument.type.is_pointer() and function not in called:
+                    self._add_object(argument, UNKNOWN)
+            for inst in function.instructions():
+                self._visit(inst)
+
+    def _visit(self, inst) -> None:
+        if isinstance(inst, (Alloca, Malloc)):
+            self._add_object(inst, inst)
+        elif isinstance(inst, GetElementPtr):
+            self._unify(inst, inst.base)
+        elif isinstance(inst, Copy):
+            if inst.type.is_pointer():
+                self._unify(inst, inst.source)
+        elif isinstance(inst, Phi):
+            if inst.type.is_pointer():
+                for value, _block in inst.incoming():
+                    if value.type.is_pointer() and not value.is_constant():
+                        self._unify(inst, value)
+        elif isinstance(inst, Load):
+            if inst.type.is_pointer():
+                self._add_object(inst, UNKNOWN)
+        elif isinstance(inst, Store):
+            # Storing a pointer publishes it; conservatively mark its class.
+            if inst.value.type.is_pointer() and not inst.value.is_constant():
+                self._add_object(inst.value, UNKNOWN)
+        elif isinstance(inst, Call):
+            callee = inst.callee
+            for index, actual in enumerate(inst.arguments):
+                if index >= len(callee.arguments):
+                    continue
+                formal = callee.arguments[index]
+                if formal.type.is_pointer() and actual.type.is_pointer() and not actual.is_constant():
+                    self._unify(formal, actual)
+            if inst.produces_value() and inst.type.is_pointer():
+                if callee.is_declaration():
+                    self._add_object(inst, UNKNOWN)
+                else:
+                    for block in callee.blocks:
+                        terminator = block.terminator
+                        if isinstance(terminator, Return) and terminator.value is not None:
+                            if terminator.value.type.is_pointer() and not terminator.value.is_constant():
+                                self._unify(inst, terminator.value)
+
+    # -- queries -----------------------------------------------------------------------
+    def objects_of(self, pointer: Value) -> Set[object]:
+        root = self._class_of(pointer)
+        return self._class_objects.get(root, set())
+
+    def may_alias(self, a: Value, b: Value) -> bool:
+        objects_a = self.objects_of(a)
+        objects_b = self.objects_of(b)
+        if not objects_a or not objects_b:
+            # One of the classes has no known object: be conservative.
+            return True
+        if UNKNOWN in objects_a or UNKNOWN in objects_b:
+            return True
+        return bool(objects_a & objects_b)
+
+
+class SteensgaardAliasAnalysis(AliasAnalysis):
+    """Alias-analysis facade over :class:`SteensgaardPointsTo`."""
+
+    name = "steensgaard"
+
+    def __init__(self, module: Optional[Module] = None) -> None:
+        self._points_to: Optional[SteensgaardPointsTo] = None
+        if module is not None:
+            self.prepare_module(module)
+
+    def prepare_module(self, module: Module) -> None:
+        self._points_to = SteensgaardPointsTo(module)
+
+    def prepare_function(self, function: Function) -> None:
+        if self._points_to is None and function.parent is not None:
+            self.prepare_module(function.parent)
+
+    def alias(self, loc_a: MemoryLocation, loc_b: MemoryLocation) -> AliasResult:
+        if self._points_to is None:
+            return AliasResult.MAY_ALIAS
+        if loc_a.pointer is loc_b.pointer:
+            return AliasResult.MUST_ALIAS
+        if not self._points_to.may_alias(loc_a.pointer, loc_b.pointer):
+            return AliasResult.NO_ALIAS
+        return AliasResult.MAY_ALIAS

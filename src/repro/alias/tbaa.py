@@ -1,0 +1,30 @@
+"""Type-based alias analysis.
+
+The C standard's strict-aliasing rule says that an object may only be
+accessed through an lvalue of a compatible type; compilers exploit it to
+declare that pointers to different scalar types do not alias.  The paper
+mentions the rule in Section 3.6 ("the C standard says that pointers of
+different types cannot alias") as one of the complementary criteria.  This
+tiny analysis implements exactly that check over our structural types.
+"""
+
+from __future__ import annotations
+
+from repro.alias.interface import AliasAnalysis
+from repro.alias.results import AliasResult, MemoryLocation
+from repro.ir.types import PointerType
+
+
+class TypeBasedAliasAnalysis(AliasAnalysis):
+    """NoAlias for pointers whose pointee types are structurally different."""
+
+    name = "tbaa"
+
+    def alias(self, loc_a: MemoryLocation, loc_b: MemoryLocation) -> AliasResult:
+        type_a = loc_a.pointer.type
+        type_b = loc_b.pointer.type
+        if not isinstance(type_a, PointerType) or not isinstance(type_b, PointerType):
+            return AliasResult.MAY_ALIAS
+        if type_a.pointee != type_b.pointee:
+            return AliasResult.NO_ALIAS
+        return AliasResult.MAY_ALIAS

@@ -1,0 +1,123 @@
+"""Constraint kinds of the less-than analysis.
+
+Figure 7 of the paper generates four kinds of constraints:
+
+* *init* — ``LT(x) = ∅`` for definitions that carry no ordering information
+  (loads, calls, unknown arithmetic, ...);
+* *union* — ``LT(x) = {e1, ...} ∪ LT(s1) ∪ ...`` for additions, subtraction
+  split copies and the σ-copy on the "greater" side of a comparison;
+* *inter* — ``LT(x) = LT(s1) ∩ ... ∩ LT(sn)`` for φ-functions;
+* *copy* — ``LT(x) = LT(s)``, a special case of *union* with no extra
+  elements and a single source.
+
+All kinds are represented by two classes — :class:`UnionConstraint` (which
+also covers *init* and *copy*) and :class:`IntersectionConstraint` — plus an
+:class:`InitConstraint` alias kept for readability at generation sites.
+Every constraint targets exactly one variable; evaluation is a pure function
+of the current LT sets of its sources.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.ir.values import Value
+
+# The abstract state: a mapping from variable to the set of variables known
+# to be strictly smaller.  ``TOP`` is the lazy representation of "the set of
+# all variables" used to seed the descending fixed-point iteration.
+TOP = "TOP"
+LTState = Dict[Value, object]  # value -> set of values, or TOP
+
+
+class Constraint:
+    """Base class; every constraint constrains a single ``target`` variable."""
+
+    def __init__(self, target: Value, origin: object = None) -> None:
+        self.target = target
+        #: the instruction (or other object) that generated this constraint;
+        #: only used for diagnostics and statistics.
+        self.origin = origin
+
+    def sources(self) -> Tuple[Value, ...]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def evaluate(self, state: LTState) -> object:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def describe(self) -> str:  # pragma: no cover - debugging helper
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return "<{} {}>".format(type(self).__name__, self.describe())
+
+
+def _lookup(state: LTState, value: Value) -> object:
+    return state.get(value, frozenset())
+
+
+class UnionConstraint(Constraint):
+    """``LT(target) = elements ∪ LT(source_1) ∪ ... ∪ LT(source_n)``."""
+
+    def __init__(self, target: Value, elements: Sequence[Value] = (),
+                 source_sets: Sequence[Value] = (), origin: object = None) -> None:
+        super().__init__(target, origin)
+        self.elements: Tuple[Value, ...] = tuple(elements)
+        self.source_sets: Tuple[Value, ...] = tuple(source_sets)
+
+    def sources(self) -> Tuple[Value, ...]:
+        return self.source_sets
+
+    def evaluate(self, state: LTState) -> object:
+        for source in self.source_sets:
+            if _lookup(state, source) is TOP:
+                return TOP
+        result: Set[Value] = set(self.elements)
+        for source in self.source_sets:
+            result |= _lookup(state, source)  # type: ignore[arg-type]
+        return frozenset(result)
+
+    def describe(self) -> str:
+        parts = ["{{{}}}".format(", ".join(e.short_name() for e in self.elements))] if self.elements else []
+        parts += ["LT({})".format(s.short_name()) for s in self.source_sets]
+        rhs = " U ".join(parts) if parts else "{}"
+        return "LT({}) = {}".format(self.target.short_name(), rhs)
+
+
+class InitConstraint(UnionConstraint):
+    """``LT(target) = ∅`` — produced by definitions with no ordering info."""
+
+    def __init__(self, target: Value, origin: object = None) -> None:
+        super().__init__(target, (), (), origin)
+
+    def describe(self) -> str:
+        return "LT({}) = {{}}".format(self.target.short_name())
+
+
+class IntersectionConstraint(Constraint):
+    """``LT(target) = LT(source_1) ∩ ... ∩ LT(source_n)`` — φ-functions."""
+
+    def __init__(self, target: Value, source_sets: Sequence[Value], origin: object = None) -> None:
+        super().__init__(target, origin)
+        self.source_sets: Tuple[Value, ...] = tuple(source_sets)
+
+    def sources(self) -> Tuple[Value, ...]:
+        return self.source_sets
+
+    def evaluate(self, state: LTState) -> object:
+        result: object = TOP
+        for source in self.source_sets:
+            current = _lookup(state, source)
+            if current is TOP:
+                continue
+            if result is TOP:
+                result = set(current)  # type: ignore[arg-type]
+            else:
+                result &= current  # type: ignore[operator]
+        if result is TOP:
+            return TOP
+        return frozenset(result)  # type: ignore[arg-type]
+
+    def describe(self) -> str:
+        rhs = " ^ ".join("LT({})".format(s.short_name()) for s in self.source_sets) or "TOP"
+        return "LT({}) = {}".format(self.target.short_name(), rhs)

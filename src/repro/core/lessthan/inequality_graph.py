@@ -1,0 +1,66 @@
+"""The inequality graph implied by the LT sets.
+
+Section 5 of the paper relates the algebraic formulation (LT sets) to the
+geometric one used by the ABCD algorithm: create a vertex per variable and an
+edge from ``v1`` to ``v2`` whenever ``v1 ∈ LT(v2)``.  This module makes that
+graph explicit, both for inspection/visualisation and because the ABCD-style
+baseline of :mod:`repro.core.abcd` searches it for positive paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set
+
+from repro.ir.values import Value
+from repro.util.dot import DotGraph
+
+
+class InequalityGraph:
+    """A directed graph with an edge ``a -> b`` meaning ``a < b``."""
+
+    def __init__(self, lt_sets: Mapping[Value, FrozenSet[Value]]) -> None:
+        self.successors: Dict[Value, Set[Value]] = {}
+        self.predecessors: Dict[Value, Set[Value]] = {}
+        for greater, smaller_set in lt_sets.items():
+            self.successors.setdefault(greater, set())
+            self.predecessors.setdefault(greater, set())
+            for smaller in smaller_set:
+                self.successors.setdefault(smaller, set()).add(greater)
+                self.predecessors.setdefault(greater, set()).add(smaller)
+                self.predecessors.setdefault(smaller, set())
+
+    # -- queries -------------------------------------------------------------------
+    def nodes(self) -> List[Value]:
+        return list(self.successors)
+
+    def edge_count(self) -> int:
+        return sum(len(s) for s in self.successors.values())
+
+    def has_edge(self, smaller: Value, greater: Value) -> bool:
+        return greater in self.successors.get(smaller, set())
+
+    def reachable_from(self, value: Value) -> Set[Value]:
+        """Every variable provably greater than ``value`` (transitively)."""
+        seen: Set[Value] = set()
+        stack = list(self.successors.get(value, set()))
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self.successors.get(node, set()))
+        return seen
+
+    def is_less_than(self, smaller: Value, greater: Value) -> bool:
+        """Path query: is there a chain ``smaller < ... < greater``?"""
+        return greater in self.reachable_from(smaller)
+
+    # -- export -----------------------------------------------------------------------
+    def to_dot(self, name: str = "inequalities") -> str:
+        graph = DotGraph(name)
+        for node in self.successors:
+            graph.add_node("%" + node.short_name())
+        for smaller, greaters in self.successors.items():
+            for greater in greaters:
+                graph.add_edge("%" + smaller.short_name(), "%" + greater.short_name(), label="<")
+        return graph.to_dot()

@@ -1,0 +1,32 @@
+"""A mini-C frontend.
+
+The paper's motivating programs (Figure 1) and its Csmith-generated
+workloads are C code.  This package provides a small C-like language — just
+enough to express those programs — together with a lexer, a recursive
+descent parser, and a lowering pass that produces our SSA IR (local scalars
+are first lowered to ``alloca`` slots and then promoted by mem2reg).
+
+Supported subset: ``int``/``void`` types with arbitrary pointer depth,
+function definitions and calls, local declarations (including fixed-size
+arrays), assignments and compound assignments, arithmetic / comparison /
+logical operators, array indexing, pointer dereference, ``if``/``else``,
+``while``, ``for``, ``break``, ``continue``, ``return`` and a built-in
+``malloc``.
+"""
+
+from repro.frontend.lexer import LexerError, Token, tokenize
+from repro.frontend.parser import ParseError, parse_program
+from repro.frontend.lowering import LoweringError, compile_source, lower_program
+from repro.frontend import ast
+
+__all__ = [
+    "LexerError",
+    "Token",
+    "tokenize",
+    "ParseError",
+    "parse_program",
+    "LoweringError",
+    "compile_source",
+    "lower_program",
+    "ast",
+]

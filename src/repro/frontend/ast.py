@@ -1,0 +1,218 @@
+"""Abstract syntax tree of the mini-C language.
+
+Nodes are plain data classes with positional fields; the parser builds them
+and the lowering pass consumes them.  Every node records the source line it
+came from so that error messages can point back at the program text.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+class Node:
+    """Base class for AST nodes."""
+
+    def __init__(self, line: int = 0) -> None:
+        self.line = line
+
+    def __repr__(self) -> str:
+        return "<{}>".format(type(self).__name__)
+
+
+# ---------------------------------------------------------------------------
+# Types (syntactic)
+# ---------------------------------------------------------------------------
+
+class TypeSpec(Node):
+    """A type as written in the source: base name plus pointer depth."""
+
+    def __init__(self, base: str, pointer_depth: int = 0, line: int = 0) -> None:
+        super().__init__(line)
+        self.base = base                  # "int" or "void"
+        self.pointer_depth = pointer_depth
+
+    def __repr__(self) -> str:
+        return "<TypeSpec {}{}>".format(self.base, "*" * self.pointer_depth)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+class Expression(Node):
+    pass
+
+
+class IntLiteral(Expression):
+    def __init__(self, value: int, line: int = 0) -> None:
+        super().__init__(line)
+        self.value = value
+
+
+class VariableRef(Expression):
+    def __init__(self, name: str, line: int = 0) -> None:
+        super().__init__(line)
+        self.name = name
+
+
+class BinaryExpr(Expression):
+    """Arithmetic, comparison or logical binary expression."""
+
+    def __init__(self, op: str, lhs: Expression, rhs: Expression, line: int = 0) -> None:
+        super().__init__(line)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+class UnaryExpr(Expression):
+    """Unary minus, logical not, pointer dereference."""
+
+    def __init__(self, op: str, operand: Expression, line: int = 0) -> None:
+        super().__init__(line)
+        self.op = op                      # "-", "!", "*"
+        self.operand = operand
+
+
+class IndexExpr(Expression):
+    """Array or pointer indexing: ``base[index]``."""
+
+    def __init__(self, base: Expression, index: Expression, line: int = 0) -> None:
+        super().__init__(line)
+        self.base = base
+        self.index = index
+
+
+class CallExpr(Expression):
+    def __init__(self, callee: str, arguments: Sequence[Expression], line: int = 0) -> None:
+        super().__init__(line)
+        self.callee = callee
+        self.arguments = list(arguments)
+
+
+class AssignExpr(Expression):
+    """Assignment (possibly compound): ``target op= value``."""
+
+    def __init__(self, target: Expression, value: Expression, op: str = "=", line: int = 0) -> None:
+        super().__init__(line)
+        self.target = target
+        self.value = value
+        self.op = op                      # "=", "+=", "-=", "*=", "/="
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+class Statement(Node):
+    pass
+
+
+class Declarator(Node):
+    """One declared name: optional array size and optional initialiser."""
+
+    def __init__(self, name: str, array_size: Optional[int] = None,
+                 initializer: Optional[Expression] = None, pointer_depth: int = 0,
+                 line: int = 0) -> None:
+        super().__init__(line)
+        self.name = name
+        self.array_size = array_size
+        self.initializer = initializer
+        self.pointer_depth = pointer_depth
+
+
+class DeclarationStmt(Statement):
+    """``int i, j = 0, *p;``"""
+
+    def __init__(self, type_spec: TypeSpec, declarators: Sequence[Declarator], line: int = 0) -> None:
+        super().__init__(line)
+        self.type_spec = type_spec
+        self.declarators = list(declarators)
+
+
+class ExpressionStmt(Statement):
+    def __init__(self, expression: Expression, line: int = 0) -> None:
+        super().__init__(line)
+        self.expression = expression
+
+
+class BlockStmt(Statement):
+    def __init__(self, statements: Sequence[Statement], line: int = 0) -> None:
+        super().__init__(line)
+        self.statements = list(statements)
+
+
+class IfStmt(Statement):
+    def __init__(self, condition: Expression, then_branch: Statement,
+                 else_branch: Optional[Statement] = None, line: int = 0) -> None:
+        super().__init__(line)
+        self.condition = condition
+        self.then_branch = then_branch
+        self.else_branch = else_branch
+
+
+class WhileStmt(Statement):
+    def __init__(self, condition: Expression, body: Statement, line: int = 0) -> None:
+        super().__init__(line)
+        self.condition = condition
+        self.body = body
+
+
+class ForStmt(Statement):
+    """``for (init; condition; step) body`` — every header part optional."""
+
+    def __init__(self, init: Optional[Statement], condition: Optional[Expression],
+                 step: Optional[Expression], body: Statement, line: int = 0) -> None:
+        super().__init__(line)
+        self.init = init
+        self.condition = condition
+        self.step = step
+        self.body = body
+
+
+class ReturnStmt(Statement):
+    def __init__(self, value: Optional[Expression], line: int = 0) -> None:
+        super().__init__(line)
+        self.value = value
+
+
+class BreakStmt(Statement):
+    pass
+
+
+class ContinueStmt(Statement):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+class Parameter(Node):
+    def __init__(self, type_spec: TypeSpec, name: str, line: int = 0) -> None:
+        super().__init__(line)
+        self.type_spec = type_spec
+        self.name = name
+
+
+class FunctionDef(Node):
+    def __init__(self, return_type: TypeSpec, name: str,
+                 parameters: Sequence[Parameter], body: BlockStmt, line: int = 0) -> None:
+        super().__init__(line)
+        self.return_type = return_type
+        self.name = name
+        self.parameters = list(parameters)
+        self.body = body
+
+
+class Program(Node):
+    def __init__(self, functions: Sequence[FunctionDef], line: int = 0) -> None:
+        super().__init__(line)
+        self.functions = list(functions)
+
+    def function(self, name: str) -> Optional[FunctionDef]:
+        for function in self.functions:
+            if function.name == name:
+                return function
+        return None

@@ -1,0 +1,97 @@
+"""An LLVM-like, typed, SSA-based intermediate representation.
+
+The paper implements its analyses as LLVM passes; this package provides the
+equivalent substrate in pure Python: a module/function/basic-block/instruction
+hierarchy, a builder API, textual printing and parsing, a verifier, and the
+classic CFG analyses (dominators, liveness, loops) that the strict-inequality
+analysis and its companions rely on.
+"""
+
+from repro.ir.types import (
+    ArrayType,
+    BoolType,
+    FunctionType,
+    IntType,
+    PointerType,
+    Type,
+    VoidType,
+    BOOL,
+    INT,
+    VOID,
+    pointer_to,
+)
+from repro.ir.values import (
+    Argument,
+    Constant,
+    ConstantInt,
+    GlobalVariable,
+    NullPointer,
+    Undef,
+    Value,
+)
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Copy,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Jump,
+    Load,
+    Malloc,
+    Phi,
+    Return,
+    Store,
+)
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.builder import IRBuilder
+from repro.ir.printer import print_function, print_module
+from repro.ir.verifier import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "ArrayType",
+    "BoolType",
+    "FunctionType",
+    "IntType",
+    "PointerType",
+    "Type",
+    "VoidType",
+    "BOOL",
+    "INT",
+    "VOID",
+    "pointer_to",
+    "Argument",
+    "Constant",
+    "ConstantInt",
+    "GlobalVariable",
+    "NullPointer",
+    "Undef",
+    "Value",
+    "Alloca",
+    "BinaryOp",
+    "Branch",
+    "Call",
+    "Copy",
+    "GetElementPtr",
+    "ICmp",
+    "Instruction",
+    "Jump",
+    "Load",
+    "Malloc",
+    "Phi",
+    "Return",
+    "Store",
+    "BasicBlock",
+    "Function",
+    "Module",
+    "IRBuilder",
+    "print_function",
+    "print_module",
+    "VerificationError",
+    "verify_function",
+    "verify_module",
+]

@@ -1,0 +1,93 @@
+"""Basic blocks: maximal straight-line sequences of instructions."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, List, Optional
+
+from repro.ir.instructions import Instruction, Phi
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ir.function import Function
+
+
+class BasicBlock:
+    """A labelled list of instructions ending in a terminator.
+
+    Blocks know their parent function.  Predecessor and successor queries are
+    derived from terminator instructions, so there is no redundant edge list
+    to keep in sync when the CFG is edited.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.parent: Optional["Function"] = None
+        self.instructions: List[Instruction] = []
+
+    # -- instruction management ----------------------------------------------
+    def append(self, instruction: Instruction) -> Instruction:
+        """Add ``instruction`` at the end of the block and claim ownership."""
+        instruction.parent = self
+        self.instructions.append(instruction)
+        if self.parent is not None and instruction.produces_value() and not instruction.name:
+            instruction.name = self.parent.next_value_name()
+        return instruction
+
+    def insert(self, index: int, instruction: Instruction) -> Instruction:
+        instruction.parent = self
+        self.instructions.insert(index, instruction)
+        if self.parent is not None and instruction.produces_value() and not instruction.name:
+            instruction.name = self.parent.next_value_name()
+        return instruction
+
+    def insert_before(self, anchor: Instruction, instruction: Instruction) -> Instruction:
+        return self.insert(self.instructions.index(anchor), instruction)
+
+    def insert_after(self, anchor: Instruction, instruction: Instruction) -> Instruction:
+        return self.insert(self.instructions.index(anchor) + 1, instruction)
+
+    def remove_instruction(self, instruction: Instruction) -> None:
+        self.instructions.remove(instruction)
+        instruction.parent = None
+
+    # -- structure queries ----------------------------------------------------
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and self.instructions[-1].is_terminator():
+            return self.instructions[-1]
+        return None
+
+    def phis(self) -> List[Phi]:
+        return [inst for inst in self.instructions if isinstance(inst, Phi)]
+
+    def non_phi_instructions(self) -> List[Instruction]:
+        return [inst for inst in self.instructions if not isinstance(inst, Phi)]
+
+    def first_non_phi_index(self) -> int:
+        for index, inst in enumerate(self.instructions):
+            if not isinstance(inst, Phi):
+                return index
+        return len(self.instructions)
+
+    def successors(self) -> List["BasicBlock"]:
+        term = self.terminator
+        if term is None:
+            return []
+        return term.successors()  # type: ignore[attr-defined]
+
+    def predecessors(self) -> List["BasicBlock"]:
+        if self.parent is None:
+            return []
+        preds = []
+        for block in self.parent.blocks:
+            if self in block.successors():
+                preds.append(block)
+        return preds
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return "<BasicBlock {}>".format(self.name or "<unnamed>")

@@ -1,0 +1,133 @@
+"""A convenience builder for constructing IR programmatically.
+
+The builder keeps an insertion point (a basic block) and provides one method
+per instruction kind.  Tests, examples, the mini-C lowering and the synthetic
+program generator all construct IR through this class.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Copy,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Jump,
+    Load,
+    Malloc,
+    Phi,
+    Return,
+    Store,
+)
+from repro.ir.types import IntType, Type
+from repro.ir.values import ConstantInt, Value
+
+
+class IRBuilder:
+    """Builds instructions at the end of a chosen basic block."""
+
+    def __init__(self, block: Optional[BasicBlock] = None) -> None:
+        self.block = block
+
+    # -- positioning -----------------------------------------------------------
+    def set_insert_point(self, block: BasicBlock) -> None:
+        self.block = block
+
+    def _insert(self, instruction: Instruction) -> Instruction:
+        if self.block is None:
+            raise RuntimeError("IRBuilder has no insertion point")
+        return self.block.append(instruction)
+
+    # -- constants ---------------------------------------------------------------
+    @staticmethod
+    def const(value: int, ty: Optional[Type] = None) -> ConstantInt:
+        return ConstantInt(value, ty if ty is not None else IntType(64))
+
+    # -- arithmetic ----------------------------------------------------------------
+    def add(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOp:
+        return self._insert(BinaryOp("add", lhs, rhs, name))  # type: ignore[return-value]
+
+    def sub(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOp:
+        return self._insert(BinaryOp("sub", lhs, rhs, name))  # type: ignore[return-value]
+
+    def mul(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOp:
+        return self._insert(BinaryOp("mul", lhs, rhs, name))  # type: ignore[return-value]
+
+    def div(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOp:
+        return self._insert(BinaryOp("div", lhs, rhs, name))  # type: ignore[return-value]
+
+    def rem(self, lhs: Value, rhs: Value, name: str = "") -> BinaryOp:
+        return self._insert(BinaryOp("rem", lhs, rhs, name))  # type: ignore[return-value]
+
+    def binary(self, op: str, lhs: Value, rhs: Value, name: str = "") -> BinaryOp:
+        return self._insert(BinaryOp(op, lhs, rhs, name))  # type: ignore[return-value]
+
+    # -- comparisons -----------------------------------------------------------------
+    def icmp(self, predicate: str, lhs: Value, rhs: Value, name: str = "") -> ICmp:
+        return self._insert(ICmp(predicate, lhs, rhs, name))  # type: ignore[return-value]
+
+    def icmp_slt(self, lhs: Value, rhs: Value, name: str = "") -> ICmp:
+        return self.icmp("slt", lhs, rhs, name)
+
+    def icmp_sle(self, lhs: Value, rhs: Value, name: str = "") -> ICmp:
+        return self.icmp("sle", lhs, rhs, name)
+
+    def icmp_sgt(self, lhs: Value, rhs: Value, name: str = "") -> ICmp:
+        return self.icmp("sgt", lhs, rhs, name)
+
+    def icmp_sge(self, lhs: Value, rhs: Value, name: str = "") -> ICmp:
+        return self.icmp("sge", lhs, rhs, name)
+
+    def icmp_eq(self, lhs: Value, rhs: Value, name: str = "") -> ICmp:
+        return self.icmp("eq", lhs, rhs, name)
+
+    def icmp_ne(self, lhs: Value, rhs: Value, name: str = "") -> ICmp:
+        return self.icmp("ne", lhs, rhs, name)
+
+    # -- control flow ------------------------------------------------------------------
+    def jump(self, target: BasicBlock) -> Jump:
+        return self._insert(Jump(target))  # type: ignore[return-value]
+
+    def branch(self, condition: Value, true_block: BasicBlock, false_block: BasicBlock) -> Branch:
+        return self._insert(Branch(condition, true_block, false_block))  # type: ignore[return-value]
+
+    def ret(self, value: Optional[Value] = None) -> Return:
+        return self._insert(Return(value))  # type: ignore[return-value]
+
+    def phi(self, ty: Type, name: str = "") -> Phi:
+        """Insert a φ-function at the start of the current block."""
+        if self.block is None:
+            raise RuntimeError("IRBuilder has no insertion point")
+        node = Phi(ty, name)
+        return self.block.insert(self.block.first_non_phi_index(), node)  # type: ignore[return-value]
+
+    # -- memory ---------------------------------------------------------------------------
+    def alloca(self, ty: Type, name: str = "", array_size: Optional[Value] = None) -> Alloca:
+        return self._insert(Alloca(ty, name, array_size))  # type: ignore[return-value]
+
+    def malloc(self, ty: Type, size: Optional[Value] = None, name: str = "") -> Malloc:
+        return self._insert(Malloc(ty, size, name))  # type: ignore[return-value]
+
+    def load(self, pointer: Value, name: str = "") -> Load:
+        return self._insert(Load(pointer, name))  # type: ignore[return-value]
+
+    def store(self, value: Value, pointer: Value) -> Store:
+        return self._insert(Store(value, pointer))  # type: ignore[return-value]
+
+    def gep(self, base: Value, index: Value, name: str = "") -> GetElementPtr:
+        return self._insert(GetElementPtr(base, index, name))  # type: ignore[return-value]
+
+    # -- misc ------------------------------------------------------------------------------
+    def copy(self, source: Value, name: str = "", kind: str = "plain") -> Copy:
+        return self._insert(Copy(source, name, kind))  # type: ignore[return-value]
+
+    def call(self, callee: Function, args: Iterable[Value], name: str = "") -> Call:
+        return self._insert(Call(callee, args, name))  # type: ignore[return-value]

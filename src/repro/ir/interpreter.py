@@ -1,0 +1,320 @@
+"""A reference interpreter for the IR.
+
+The interpreter serves two purposes:
+
+* it makes the examples runnable end-to-end (the mini-C sorting routines can
+  actually be executed on concrete arrays), and
+* it powers differential testing of the static analyses: the adequacy
+  theorem of the paper (Theorem 3.9) states that whenever the analysis puts
+  ``x`` in ``LT(y)``, the concrete value of ``x`` is smaller than the value
+  of ``y`` at any moment where both are defined.  Property-based tests run
+  random programs under this interpreter and check exactly that.
+
+Memory is modelled as a collection of independent objects (one per ``alloca``
+/ ``malloc`` / global), each a Python list of cells; pointers are
+``(object id, offset)`` pairs.  Out-of-bounds accesses raise
+:class:`InterpreterError` instead of being undefined behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Copy,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Jump,
+    Load,
+    Malloc,
+    Phi,
+    Return,
+    Store,
+)
+from repro.ir.module import Module
+from repro.ir.values import Argument, ConstantInt, GlobalVariable, NullPointer, Undef, Value
+
+
+class InterpreterError(Exception):
+    """Raised on invalid runtime behaviour (bad memory access, div by zero...)."""
+
+
+class Pointer:
+    """A runtime pointer: an object identifier plus an element offset."""
+
+    __slots__ = ("object_id", "offset")
+
+    def __init__(self, object_id: int, offset: int = 0) -> None:
+        self.object_id = object_id
+        self.offset = offset
+
+    def moved(self, delta: int) -> "Pointer":
+        return Pointer(self.object_id, self.offset + delta)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Pointer)
+            and other.object_id == self.object_id
+            and other.offset == self.offset
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.object_id, self.offset))
+
+    def __repr__(self) -> str:
+        return "Pointer(obj={}, off={})".format(self.object_id, self.offset)
+
+
+NULL_POINTER = Pointer(-1, 0)
+
+# A trace entry: (function name, instruction, environment snapshot).
+TraceEntry = Tuple[str, Instruction, Dict[Value, object]]
+
+
+class MemoryObject:
+    """A contiguous runtime object of ``size`` integer-or-pointer cells."""
+
+    def __init__(self, object_id: int, size: int, label: str) -> None:
+        self.object_id = object_id
+        self.cells: List[object] = [0] * size
+        self.label = label
+
+    def read(self, offset: int) -> object:
+        if not 0 <= offset < len(self.cells):
+            raise InterpreterError(
+                "out-of-bounds read at {}[{}] (size {})".format(self.label, offset, len(self.cells)))
+        return self.cells[offset]
+
+    def write(self, offset: int, value: object) -> None:
+        if not 0 <= offset < len(self.cells):
+            raise InterpreterError(
+                "out-of-bounds write at {}[{}] (size {})".format(self.label, offset, len(self.cells)))
+        self.cells[offset] = value
+
+
+class Interpreter:
+    """Executes functions of a module.
+
+    Parameters
+    ----------
+    module:
+        The module containing the functions to run.
+    max_steps:
+        A fuel limit that guards against non-terminating random programs.
+    record_trace:
+        When true, every executed instruction that produces a value is
+        recorded together with a snapshot of the local environment; the
+        adequacy property test consumes this trace.
+    """
+
+    DEFAULT_OBJECT_SIZE = 64
+
+    def __init__(self, module: Module, max_steps: int = 100000, record_trace: bool = False) -> None:
+        self.module = module
+        self.max_steps = max_steps
+        self.record_trace = record_trace
+        self.steps = 0
+        self.memory: Dict[int, MemoryObject] = {}
+        self.trace: List[TraceEntry] = []
+        self._next_object_id = 0
+        self._globals: Dict[GlobalVariable, Pointer] = {}
+        for gv in module.globals:
+            pointer = self._allocate(self.DEFAULT_OBJECT_SIZE, "@" + gv.name)
+            if gv.initializer is not None and isinstance(gv.initializer, ConstantInt):
+                self.memory[pointer.object_id].write(0, gv.initializer.value)
+            self._globals[gv] = pointer
+
+    # -- memory management -----------------------------------------------------
+    def _allocate(self, size: int, label: str) -> Pointer:
+        object_id = self._next_object_id
+        self._next_object_id += 1
+        self.memory[object_id] = MemoryObject(object_id, size, label)
+        return Pointer(object_id)
+
+    def allocate_array(self, values: Sequence[int], label: str = "array") -> Pointer:
+        """Allocate an object initialised with ``values`` (used by examples)."""
+        pointer = self._allocate(max(len(values), 1), label)
+        for index, value in enumerate(values):
+            self.memory[pointer.object_id].write(index, value)
+        return pointer
+
+    def read_array(self, pointer: Pointer, count: int) -> List[object]:
+        obj = self.memory[pointer.object_id]
+        return [obj.read(pointer.offset + i) for i in range(count)]
+
+    # -- value evaluation ---------------------------------------------------------
+    def _eval(self, value: Value, env: Dict[Value, object]) -> object:
+        if isinstance(value, ConstantInt):
+            return value.value
+        if isinstance(value, NullPointer):
+            return NULL_POINTER
+        if isinstance(value, Undef):
+            return 0
+        if isinstance(value, GlobalVariable):
+            return self._globals[value]
+        if value in env:
+            return env[value]
+        raise InterpreterError("use of undefined value %{}".format(value.name))
+
+    # -- execution ------------------------------------------------------------------
+    def run(self, function_name: str, args: Sequence[object] = ()) -> Optional[object]:
+        function = self.module.get_function(function_name)
+        if function is None:
+            raise InterpreterError("no function named {}".format(function_name))
+        return self.call_function(function, list(args))
+
+    def call_function(self, function: Function, args: Sequence[object]) -> Optional[object]:
+        if function.is_declaration():
+            raise InterpreterError("cannot execute declaration @{}".format(function.name))
+        if len(args) != len(function.arguments):
+            raise InterpreterError(
+                "@{} expects {} arguments, got {}".format(
+                    function.name, len(function.arguments), len(args)))
+        env: Dict[Value, object] = {}
+        for formal, actual in zip(function.arguments, args):
+            env[formal] = actual
+        block = function.entry_block
+        assert block is not None
+        previous_block: Optional[BasicBlock] = None
+        while True:
+            next_block, result, returned = self._run_block(function, block, previous_block, env)
+            if returned:
+                return result
+            previous_block, block = block, next_block  # type: ignore[assignment]
+
+    def _run_block(self, function: Function, block: BasicBlock,
+                   previous: Optional[BasicBlock], env: Dict[Value, object]):
+        # φ-functions execute in parallel based on the incoming edge.
+        phi_values: Dict[Phi, object] = {}
+        for phi in block.phis():
+            if previous is None:
+                raise InterpreterError("phi %{} executed in entry block".format(phi.name))
+            incoming = phi.incoming_value_for(previous)
+            if incoming is None:
+                raise InterpreterError(
+                    "phi %{} has no incoming value for block {}".format(phi.name, previous.name))
+            phi_values[phi] = self._eval(incoming, env)
+        for phi, value in phi_values.items():
+            env[phi] = value
+            self._record(function, phi, env)
+
+        for inst in block.non_phi_instructions():
+            self.steps += 1
+            if self.steps > self.max_steps:
+                raise InterpreterError("step limit exceeded (non-terminating program?)")
+            if isinstance(inst, BinaryOp):
+                env[inst] = self._binary(inst, env)
+            elif isinstance(inst, ICmp):
+                env[inst] = self._compare(inst, env)
+            elif isinstance(inst, Copy):
+                env[inst] = self._eval(inst.source, env)
+            elif isinstance(inst, Alloca):
+                size = self.DEFAULT_OBJECT_SIZE
+                if inst.array_size is not None:
+                    size = int(self._eval(inst.array_size, env))  # type: ignore[arg-type]
+                env[inst] = self._allocate(max(size, 1), "%" + inst.name)
+            elif isinstance(inst, Malloc):
+                size = self.DEFAULT_OBJECT_SIZE
+                if inst.size is not None:
+                    size = int(self._eval(inst.size, env))  # type: ignore[arg-type]
+                env[inst] = self._allocate(max(size, 1), "%" + inst.name)
+            elif isinstance(inst, GetElementPtr):
+                base = self._eval(inst.base, env)
+                index = self._eval(inst.index, env)
+                if not isinstance(base, Pointer):
+                    raise InterpreterError("gep on non-pointer value in %{}".format(inst.name))
+                env[inst] = base.moved(int(index))  # type: ignore[arg-type]
+            elif isinstance(inst, Load):
+                pointer = self._eval(inst.pointer, env)
+                if not isinstance(pointer, Pointer) or pointer.object_id not in self.memory:
+                    raise InterpreterError("load through invalid pointer in %{}".format(inst.name))
+                env[inst] = self.memory[pointer.object_id].read(pointer.offset)
+            elif isinstance(inst, Store):
+                pointer = self._eval(inst.pointer, env)
+                value = self._eval(inst.value, env)
+                if not isinstance(pointer, Pointer) or pointer.object_id not in self.memory:
+                    raise InterpreterError("store through invalid pointer")
+                self.memory[pointer.object_id].write(pointer.offset, value)
+            elif isinstance(inst, Call):
+                arg_values = [self._eval(a, env) for a in inst.arguments]
+                result = self.call_function(inst.callee, arg_values)
+                if inst.produces_value():
+                    env[inst] = result
+            elif isinstance(inst, Jump):
+                return inst.target, None, False
+            elif isinstance(inst, Branch):
+                condition = self._eval(inst.condition, env)
+                target = inst.true_block if condition else inst.false_block
+                return target, None, False
+            elif isinstance(inst, Return):
+                value = self._eval(inst.value, env) if inst.value is not None else None
+                return None, value, True
+            else:
+                raise InterpreterError("cannot interpret {}".format(type(inst).__name__))
+            if inst.produces_value():
+                self._record(function, inst, env)
+        raise InterpreterError("block {} fell through without a terminator".format(block.name))
+
+    # -- helpers -----------------------------------------------------------------------
+    def _binary(self, inst: BinaryOp, env: Dict[Value, object]) -> object:
+        lhs = self._eval(inst.lhs, env)
+        rhs = self._eval(inst.rhs, env)
+        # Pointer arithmetic through add/sub is permitted: pointer +/- int.
+        if isinstance(lhs, Pointer) and isinstance(rhs, int):
+            if inst.op == "add":
+                return lhs.moved(rhs)
+            if inst.op == "sub":
+                return lhs.moved(-rhs)
+            raise InterpreterError("unsupported pointer arithmetic {}".format(inst.op))
+        if isinstance(rhs, Pointer) and isinstance(lhs, int) and inst.op == "add":
+            return rhs.moved(lhs)
+        if not isinstance(lhs, int) or not isinstance(rhs, int):
+            raise InterpreterError("binary op on non-integers in %{}".format(inst.name))
+        if inst.op == "add":
+            return lhs + rhs
+        if inst.op == "sub":
+            return lhs - rhs
+        if inst.op == "mul":
+            return lhs * rhs
+        if inst.op == "div":
+            if rhs == 0:
+                raise InterpreterError("division by zero in %{}".format(inst.name))
+            return int(lhs / rhs)  # C-style truncation toward zero
+        if inst.op == "rem":
+            if rhs == 0:
+                raise InterpreterError("remainder by zero in %{}".format(inst.name))
+            return lhs - int(lhs / rhs) * rhs
+        raise InterpreterError("unknown binary op {}".format(inst.op))
+
+    def _compare(self, inst: ICmp, env: Dict[Value, object]) -> bool:
+        lhs = self._eval(inst.lhs, env)
+        rhs = self._eval(inst.rhs, env)
+        if isinstance(lhs, Pointer) and isinstance(rhs, Pointer):
+            lhs_key: object = (lhs.object_id, lhs.offset)
+            rhs_key: object = (rhs.object_id, rhs.offset)
+        else:
+            lhs_key, rhs_key = lhs, rhs
+        if inst.predicate == "eq":
+            return lhs_key == rhs_key
+        if inst.predicate == "ne":
+            return lhs_key != rhs_key
+        if inst.predicate == "slt":
+            return lhs_key < rhs_key  # type: ignore[operator]
+        if inst.predicate == "sle":
+            return lhs_key <= rhs_key  # type: ignore[operator]
+        if inst.predicate == "sgt":
+            return lhs_key > rhs_key  # type: ignore[operator]
+        if inst.predicate == "sge":
+            return lhs_key >= rhs_key  # type: ignore[operator]
+        raise InterpreterError("unknown predicate {}".format(inst.predicate))
+
+    def _record(self, function: Function, inst: Instruction, env: Dict[Value, object]) -> None:
+        if self.record_trace:
+            self.trace.append((function.name, inst, dict(env)))

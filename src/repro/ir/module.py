@@ -1,0 +1,67 @@
+"""Modules: the top-level container of functions and global variables."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.ir.function import Function
+from repro.ir.types import Type
+from repro.ir.values import Constant, GlobalVariable
+
+
+class Module:
+    """A translation unit: named functions and global variables."""
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self.functions: List[Function] = []
+        self.globals: List[GlobalVariable] = []
+
+    # -- functions ---------------------------------------------------------------
+    def add_function(self, function: Function) -> Function:
+        if self.get_function(function.name) is not None:
+            raise ValueError("duplicate function name: {}".format(function.name))
+        function.parent = self
+        self.functions.append(function)
+        return function
+
+    def create_function(self, name: str, return_type: Type,
+                        arg_types: Sequence[Type] = (),
+                        arg_names: Optional[Sequence[str]] = None) -> Function:
+        return self.add_function(Function(name, return_type, arg_types, arg_names))
+
+    def get_function(self, name: str) -> Optional[Function]:
+        for function in self.functions:
+            if function.name == name:
+                return function
+        return None
+
+    # -- globals -----------------------------------------------------------------
+    def add_global(self, value_type: Type, name: str,
+                   initializer: Optional[Constant] = None) -> GlobalVariable:
+        if self.get_global(name) is not None:
+            raise ValueError("duplicate global name: {}".format(name))
+        gv = GlobalVariable(value_type, name, initializer)
+        gv.module = self
+        self.globals.append(gv)
+        return gv
+
+    def get_global(self, name: str) -> Optional[GlobalVariable]:
+        for gv in self.globals:
+            if gv.name == name:
+                return gv
+        return None
+
+    # -- aggregate queries ---------------------------------------------------------
+    def instruction_count(self) -> int:
+        return sum(f.instruction_count() for f in self.functions)
+
+    def defined_functions(self) -> Iterator[Function]:
+        for function in self.functions:
+            if not function.is_declaration():
+                yield function
+
+    def __repr__(self) -> str:
+        return "<Module {} ({} functions, {} globals)>".format(
+            self.name, len(self.functions), len(self.globals)
+        )

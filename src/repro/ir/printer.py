@@ -1,0 +1,139 @@
+"""Textual rendering of IR modules, functions and instructions.
+
+The format loosely follows LLVM's: values are printed as ``%name``, globals
+as ``@name``, blocks as labels.  The printer is used by tests, examples and
+error messages; :mod:`repro.ir.parser` can read the format back.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Copy,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Jump,
+    Load,
+    Malloc,
+    Phi,
+    Return,
+    Store,
+)
+from repro.ir.module import Module
+from repro.ir.values import Argument, ConstantInt, GlobalVariable, NullPointer, Undef, Value
+
+
+def format_value(value: Value) -> str:
+    """Render ``value`` as an operand reference."""
+    if isinstance(value, ConstantInt):
+        return str(value.value)
+    if isinstance(value, NullPointer):
+        return "null"
+    if isinstance(value, Undef):
+        return "undef"
+    if isinstance(value, GlobalVariable):
+        return "@{}".format(value.name)
+    return "%{}".format(value.name)
+
+
+def format_typed_value(value: Value) -> str:
+    return "{} {}".format(value.type, format_value(value))
+
+
+def format_instruction(inst: Instruction) -> str:
+    """Render one instruction (without indentation or trailing newline)."""
+    if isinstance(inst, BinaryOp):
+        return "%{} = {} {} {}, {}".format(
+            inst.name, inst.op, inst.type, format_value(inst.lhs), format_value(inst.rhs)
+        )
+    if isinstance(inst, ICmp):
+        return "%{} = icmp {} {} {}, {}".format(
+            inst.name, inst.predicate, inst.lhs.type, format_value(inst.lhs), format_value(inst.rhs)
+        )
+    if isinstance(inst, Phi):
+        incoming = ", ".join(
+            "[{}, %{}]".format(format_value(value), block.name) for value, block in inst.incoming()
+        )
+        return "%{} = phi {} {}".format(inst.name, inst.type, incoming)
+    if isinstance(inst, Jump):
+        return "br label %{}".format(inst.target.name)
+    if isinstance(inst, Branch):
+        return "br {} {}, label %{}, label %{}".format(
+            inst.condition.type, format_value(inst.condition),
+            inst.true_block.name, inst.false_block.name,
+        )
+    if isinstance(inst, Return):
+        if inst.value is None:
+            return "ret void"
+        return "ret {}".format(format_typed_value(inst.value))
+    if isinstance(inst, Alloca):
+        if inst.array_size is not None:
+            return "%{} = alloca {}, {}".format(
+                inst.name, inst.allocated_type, format_typed_value(inst.array_size)
+            )
+        return "%{} = alloca {}".format(inst.name, inst.allocated_type)
+    if isinstance(inst, Malloc):
+        if inst.size is not None:
+            return "%{} = malloc {}, {}".format(
+                inst.name, inst.allocated_type, format_typed_value(inst.size)
+            )
+        return "%{} = malloc {}".format(inst.name, inst.allocated_type)
+    if isinstance(inst, Load):
+        return "%{} = load {}, {}".format(
+            inst.name, inst.type, format_typed_value(inst.pointer)
+        )
+    if isinstance(inst, Store):
+        return "store {}, {}".format(
+            format_typed_value(inst.value), format_typed_value(inst.pointer)
+        )
+    if isinstance(inst, GetElementPtr):
+        return "%{} = gep {}, {}".format(
+            inst.name, format_typed_value(inst.base), format_typed_value(inst.index)
+        )
+    if isinstance(inst, Copy):
+        return "%{} = copy {} {} ; {}".format(
+            inst.name, inst.type, format_value(inst.source), inst.kind
+        )
+    if isinstance(inst, Call):
+        args = ", ".join(format_typed_value(a) for a in inst.arguments)
+        if inst.produces_value():
+            return "%{} = call {} @{}({})".format(inst.name, inst.type, inst.callee.name, args)
+        return "call void @{}({})".format(inst.callee.name, args)
+    return "<unknown instruction {}>".format(type(inst).__name__)
+
+
+def print_block(block: BasicBlock) -> str:
+    lines: List[str] = ["{}:".format(block.name)]
+    for inst in block.instructions:
+        lines.append("  " + format_instruction(inst))
+    return "\n".join(lines)
+
+
+def print_function(function: Function) -> str:
+    args = ", ".join("{} %{}".format(a.type, a.name) for a in function.arguments)
+    header = "define {} @{}({}) {{".format(function.return_type, function.name, args)
+    if function.is_declaration():
+        return "declare {} @{}({})".format(function.return_type, function.name, args)
+    body = "\n".join(print_block(block) for block in function.blocks)
+    return "{}\n{}\n}}".format(header, body)
+
+
+def print_module(module: Module) -> str:
+    parts: List[str] = ["; module {}".format(module.name)]
+    for gv in module.globals:
+        if gv.initializer is not None:
+            parts.append("@{} = global {} {}".format(
+                gv.name, gv.value_type, format_value(gv.initializer)))
+        else:
+            parts.append("@{} = global {}".format(gv.name, gv.value_type))
+    for function in module.functions:
+        parts.append(print_function(function))
+    return "\n\n".join(parts) + "\n"

@@ -1,0 +1,121 @@
+"""SSA construction (mem2reg).
+
+The mini-C frontend lowers local variables to ``alloca`` slots accessed with
+``load``/``store``.  This pass promotes those slots to SSA registers using
+the classic Cytron et al. algorithm: φ-functions are inserted at the
+iterated dominance frontier of the blocks that store to a slot, then a
+renaming walk over the dominator tree replaces loads with the reaching
+definition.
+
+Only promotable allocas are touched: scalar-typed slots whose address is
+used exclusively by loads and stores (never stored itself, never passed to a
+call, never offset with ``gep``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.dominators import DominatorTree
+from repro.ir.function import Function
+from repro.ir.instructions import Alloca, Instruction, Load, Phi, Store
+from repro.ir.values import Undef, Value
+
+
+def promotable_allocas(function: Function) -> List[Alloca]:
+    """Return the allocas of ``function`` that can be promoted to SSA values."""
+    result: List[Alloca] = []
+    for inst in function.instructions():
+        if not isinstance(inst, Alloca):
+            continue
+        if inst.array_size is not None:
+            continue
+        if not inst.allocated_type.is_scalar():
+            continue
+        promotable = True
+        for use in inst.uses:
+            user = use.user
+            if isinstance(user, Load):
+                continue
+            if isinstance(user, Store) and user.pointer is inst and user.value is not inst:
+                continue
+            promotable = False
+            break
+        if promotable:
+            result.append(inst)
+    return result
+
+
+def promote_memory_to_registers(function: Function) -> int:
+    """Run mem2reg on ``function``; return the number of promoted allocas."""
+    if function.is_declaration():
+        return 0
+    allocas = promotable_allocas(function)
+    if not allocas:
+        return 0
+    domtree = DominatorTree(function)
+    for alloca in allocas:
+        _promote_single(function, alloca, domtree)
+    return len(allocas)
+
+
+def _promote_single(function: Function, alloca: Alloca, domtree: DominatorTree) -> None:
+    value_type = alloca.allocated_type
+    defining_blocks: Set[BasicBlock] = set()
+    for use in alloca.uses:
+        user = use.user
+        if isinstance(user, Store) and user.parent is not None:
+            defining_blocks.add(user.parent)
+
+    # 1. Insert φ-functions at the iterated dominance frontier.
+    phi_blocks: Set[BasicBlock] = set()
+    worklist = list(defining_blocks)
+    inserted: Dict[BasicBlock, Phi] = {}
+    while worklist:
+        block = worklist.pop()
+        for frontier_block in domtree.dominance_frontier(block):
+            if frontier_block in phi_blocks:
+                continue
+            phi_blocks.add(frontier_block)
+            phi = Phi(value_type, "")
+            frontier_block.insert(0, phi)
+            inserted[frontier_block] = phi
+            if frontier_block not in defining_blocks:
+                worklist.append(frontier_block)
+
+    # 2. Rename along the dominator tree.
+    def rename(block: BasicBlock, incoming: Optional[Value]) -> None:
+        current = incoming
+        if block in inserted:
+            current = inserted[block]
+        for inst in list(block.instructions):
+            if isinstance(inst, Load) and inst.pointer is alloca:
+                replacement = current if current is not None else Undef(value_type)
+                inst.replace_all_uses_with(replacement)
+                inst.erase_from_parent()
+            elif isinstance(inst, Store) and inst.pointer is alloca:
+                current = inst.value
+                inst.erase_from_parent()
+        for succ in block.successors():
+            phi = inserted.get(succ)
+            if phi is not None:
+                phi.add_incoming(current if current is not None else Undef(value_type), block)
+        for child in domtree.children.get(block, []):
+            rename(child, current)
+
+    entry = function.entry_block
+    assert entry is not None
+    rename(entry, None)
+
+    # 3. The alloca itself is now dead.
+    alloca.erase_from_parent()
+
+    # 4. Prune φ-functions whose incoming list misses some predecessors
+    #    (possible when a predecessor was unreachable) by filling with Undef.
+    for block, phi in inserted.items():
+        preds = block.predecessors()
+        covered = {id(b) for b in phi.incoming_blocks}
+        for pred in preds:
+            if id(pred) not in covered:
+                phi.add_incoming(Undef(value_type), pred)

@@ -1,0 +1,186 @@
+"""The type system of the intermediate representation.
+
+The paper's core language manipulates scalars: integers and pointers
+(Section 3.1, "Variables have scalar type, e.g., either integer or pointer").
+We additionally provide array and function types so that the mini-C frontend
+and the synthetic program generator can express realistic programs, and a
+boolean type for comparison results.
+
+Types are immutable and structural: two ``PointerType`` instances with the
+same pointee compare equal and hash equally, so they can be used freely as
+dictionary keys.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+class Type:
+    """Base class of all IR types."""
+
+    def is_int(self) -> bool:
+        return isinstance(self, IntType)
+
+    def is_bool(self) -> bool:
+        return isinstance(self, BoolType)
+
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    def is_array(self) -> bool:
+        return isinstance(self, ArrayType)
+
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    def is_scalar(self) -> bool:
+        """Scalar in the C-standard sense: arithmetic or pointer type."""
+        return self.is_int() or self.is_bool() or self.is_pointer()
+
+    def __repr__(self) -> str:
+        return "<{} {}>".format(type(self).__name__, self)
+
+
+class VoidType(Type):
+    """The type of instructions that produce no value (e.g. ``store``)."""
+
+    def __str__(self) -> str:
+        return "void"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VoidType)
+
+    def __hash__(self) -> int:
+        return hash("void")
+
+
+class IntType(Type):
+    """A signed integer of a given bit width (default 64)."""
+
+    __slots__ = ("bits",)
+
+    def __init__(self, bits: int = 64) -> None:
+        if bits <= 0:
+            raise ValueError("integer width must be positive")
+        self.bits = bits
+
+    def __str__(self) -> str:
+        return "i{}".format(self.bits)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IntType) and other.bits == self.bits
+
+    def __hash__(self) -> int:
+        return hash(("int", self.bits))
+
+
+class BoolType(Type):
+    """The result type of comparisons; equivalent to LLVM's ``i1``."""
+
+    def __str__(self) -> str:
+        return "i1"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BoolType)
+
+    def __hash__(self) -> int:
+        return hash("bool")
+
+
+class PointerType(Type):
+    """A pointer to values of ``pointee`` type."""
+
+    __slots__ = ("pointee",)
+
+    def __init__(self, pointee: Type) -> None:
+        if pointee.is_void():
+            raise ValueError("pointers to void are not supported; use a byte pointer")
+        self.pointee = pointee
+
+    def __str__(self) -> str:
+        return "{}*".format(self.pointee)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PointerType) and other.pointee == self.pointee
+
+    def __hash__(self) -> int:
+        return hash(("ptr", self.pointee))
+
+    def nesting_depth(self) -> int:
+        """Number of pointer levels, e.g. ``int***`` has depth 3."""
+        depth = 0
+        ty: Type = self
+        while isinstance(ty, PointerType):
+            depth += 1
+            ty = ty.pointee
+        return depth
+
+
+class ArrayType(Type):
+    """A fixed-size array of ``count`` elements of ``element`` type."""
+
+    __slots__ = ("element", "count")
+
+    def __init__(self, element: Type, count: int) -> None:
+        if count < 0:
+            raise ValueError("array size cannot be negative")
+        if element.is_void():
+            raise ValueError("arrays of void are not supported")
+        self.element = element
+        self.count = count
+
+    def __str__(self) -> str:
+        return "[{} x {}]".format(self.count, self.element)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ArrayType)
+            and other.element == self.element
+            and other.count == self.count
+        )
+
+    def __hash__(self) -> int:
+        return hash(("array", self.element, self.count))
+
+
+class FunctionType(Type):
+    """A function signature: return type plus parameter types."""
+
+    __slots__ = ("return_type", "param_types")
+
+    def __init__(self, return_type: Type, param_types: Tuple[Type, ...]) -> None:
+        self.return_type = return_type
+        self.param_types = tuple(param_types)
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.param_types)
+        return "{} ({})".format(self.return_type, params)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FunctionType)
+            and other.return_type == self.return_type
+            and other.param_types == self.param_types
+        )
+
+    def __hash__(self) -> int:
+        return hash(("fn", self.return_type, self.param_types))
+
+
+# Canonical singletons for the common cases.  ``IntType`` instances compare
+# structurally so creating new ones is also fine; these exist for brevity.
+VOID = VoidType()
+INT = IntType(64)
+BOOL = BoolType()
+
+
+def pointer_to(ty: Type, levels: int = 1) -> PointerType:
+    """Wrap ``ty`` in ``levels`` pointer layers (``levels`` must be >= 1)."""
+    if levels < 1:
+        raise ValueError("levels must be at least 1")
+    result: Type = ty
+    for _ in range(levels):
+        result = PointerType(result)
+    assert isinstance(result, PointerType)
+    return result

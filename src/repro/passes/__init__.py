@@ -1,0 +1,18 @@
+"""A small pass-manager framework.
+
+The original artifact chains LLVM passes (``vSSA``, ``RangeAnalysis``,
+``sraa``, ``DepGraph``).  This package provides the equivalent plumbing:
+passes declare a ``name``, run over functions or modules, and analysis
+results are cached per function until a transformation invalidates them.
+"""
+
+from repro.passes.pass_base import AnalysisPass, FunctionPass, ModulePass, TransformPass
+from repro.passes.manager import PassManager
+
+__all__ = [
+    "AnalysisPass",
+    "FunctionPass",
+    "ModulePass",
+    "TransformPass",
+    "PassManager",
+]

@@ -1,0 +1,73 @@
+"""Pass manager with per-function analysis caching."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.passes.pass_base import AnalysisPass, FunctionPass, ModulePass, Pass, TransformPass
+
+
+class PassManager:
+    """Schedules passes over a module and caches analysis results.
+
+    Usage::
+
+        pm = PassManager(module)
+        pm.run(EssaConstructionPass())
+        lt = pm.get_analysis(LessThanAnalysisPass(), function)
+    """
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self._analysis_cache: Dict[Tuple[str, Function], Any] = {}
+        self.history: List[str] = []
+
+    # -- running passes -----------------------------------------------------------
+    def run(self, pass_obj: Pass) -> Dict[Function, Any]:
+        """Run ``pass_obj`` over the whole module.
+
+        Returns a mapping from function to the pass result (for function
+        passes) or ``{None: result}``-style single entry for module passes.
+        """
+        self.history.append(pass_obj.name)
+        if isinstance(pass_obj, ModulePass):
+            result = pass_obj.run_on_module(self.module)
+            return {None: result}  # type: ignore[dict-item]
+        if isinstance(pass_obj, FunctionPass):
+            results: Dict[Function, Any] = {}
+            for function in self.module.functions:
+                if function.is_declaration():
+                    continue
+                results[function] = self._run_on_function(pass_obj, function)
+            return results
+        raise TypeError("not a pass: {!r}".format(pass_obj))
+
+    def _run_on_function(self, pass_obj: FunctionPass, function: Function) -> Any:
+        if isinstance(pass_obj, AnalysisPass):
+            key = (pass_obj.name, function)
+            if key not in self._analysis_cache:
+                self._analysis_cache[key] = pass_obj.run_on_function(function)
+            return self._analysis_cache[key]
+        result = pass_obj.run_on_function(function)
+        if isinstance(pass_obj, TransformPass) and result:
+            self.invalidate(function)
+        return result
+
+    # -- analysis access -------------------------------------------------------------
+    def get_analysis(self, pass_obj: AnalysisPass, function: Function) -> Any:
+        """Return the (cached) result of ``pass_obj`` on ``function``."""
+        return self._run_on_function(pass_obj, function)
+
+    def cached(self, pass_name: str, function: Function) -> Optional[Any]:
+        return self._analysis_cache.get((pass_name, function))
+
+    def invalidate(self, function: Optional[Function] = None) -> None:
+        """Drop cached analyses for ``function`` (or all, when None)."""
+        if function is None:
+            self._analysis_cache.clear()
+            return
+        stale = [key for key in self._analysis_cache if key[1] is function]
+        for key in stale:
+            del self._analysis_cache[key]

@@ -1,0 +1,56 @@
+"""Base classes for passes.
+
+A *pass* is a named unit of work over the IR.  There are two axes:
+
+* scope: :class:`FunctionPass` runs per function, :class:`ModulePass` runs
+  once over a whole module;
+* kind: :class:`AnalysisPass` computes a result without changing the IR,
+  :class:`TransformPass` mutates the IR and reports whether it changed
+  anything.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.ir.function import Function
+from repro.ir.module import Module
+
+
+class Pass:
+    """Common base: a pass has a stable ``name`` used for caching and logs."""
+
+    name = "pass"
+
+    def __repr__(self) -> str:
+        return "<{} {}>".format(type(self).__name__, self.name)
+
+
+class FunctionPass(Pass):
+    """A pass whose unit of work is a single function."""
+
+    def run_on_function(self, function: Function) -> Any:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class ModulePass(Pass):
+    """A pass whose unit of work is a whole module."""
+
+    def run_on_module(self, module: Module) -> Any:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class AnalysisPass(FunctionPass):
+    """A function pass that computes a result and never mutates the IR.
+
+    Results are cached by the :class:`~repro.passes.manager.PassManager`
+    keyed on ``(pass name, function)`` until invalidated.
+    """
+
+
+class TransformPass(FunctionPass):
+    """A function pass that may mutate the IR.
+
+    ``run_on_function`` must return True when the IR changed so the manager
+    can invalidate cached analyses for that function.
+    """

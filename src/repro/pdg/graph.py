@@ -1,0 +1,121 @@
+"""Data structures of the Program Dependence Graph."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.ir.values import Value
+from repro.util.dot import DotGraph
+
+
+class PDGNode:
+    """Base class of PDG vertices."""
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+
+    def __repr__(self) -> str:
+        return "<{} {}>".format(type(self).__name__, self.label)
+
+
+class ValueNode(PDGNode):
+    """A vertex representing one SSA value (variable)."""
+
+    def __init__(self, value: Value) -> None:
+        super().__init__("%" + value.short_name())
+        self.value = value
+
+
+class MemoryNode(PDGNode):
+    """A vertex representing an equivalence class of memory references.
+
+    ``references`` are the pointer values through which the class is
+    accessed.  Two references end up in the same node when the alias
+    analysis used to build the graph could not prove them disjoint.
+    """
+
+    def __init__(self, index: int, references: Sequence[Value]) -> None:
+        super().__init__("mem#{}".format(index))
+        self.index = index
+        self.references: List[Value] = list(references)
+
+    @property
+    def reference_count(self) -> int:
+        return len(self.references)
+
+
+class PDGEdge:
+    """A dependence edge with a kind ("data", "memory" or "control")."""
+
+    def __init__(self, source: PDGNode, target: PDGNode, kind: str = "data") -> None:
+        self.source = source
+        self.target = target
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        return "<PDGEdge {} -{}-> {}>".format(self.source.label, self.kind, self.target.label)
+
+
+class ProgramDependenceGraph:
+    """A program dependence graph for one function."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value_nodes: Dict[Value, ValueNode] = {}
+        self.memory_nodes: List[MemoryNode] = []
+        self.edges: List[PDGEdge] = []
+        self._memory_node_of_reference: Dict[Value, MemoryNode] = {}
+
+    # -- construction -------------------------------------------------------------
+    def value_node(self, value: Value) -> ValueNode:
+        if value not in self.value_nodes:
+            self.value_nodes[value] = ValueNode(value)
+        return self.value_nodes[value]
+
+    def add_memory_node(self, references: Sequence[Value]) -> MemoryNode:
+        node = MemoryNode(len(self.memory_nodes), references)
+        self.memory_nodes.append(node)
+        for reference in references:
+            self._memory_node_of_reference[reference] = node
+        return node
+
+    def memory_node_for(self, reference: Value) -> Optional[MemoryNode]:
+        return self._memory_node_of_reference.get(reference)
+
+    def add_edge(self, source: PDGNode, target: PDGNode, kind: str = "data") -> PDGEdge:
+        edge = PDGEdge(source, target, kind)
+        self.edges.append(edge)
+        return edge
+
+    # -- queries -------------------------------------------------------------------
+    @property
+    def memory_node_count(self) -> int:
+        return len(self.memory_nodes)
+
+    @property
+    def value_node_count(self) -> int:
+        return len(self.value_nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self.edges)
+
+    def edges_of_kind(self, kind: str) -> List[PDGEdge]:
+        return [edge for edge in self.edges if edge.kind == kind]
+
+    def predecessors(self, node: PDGNode) -> List[PDGNode]:
+        return [edge.source for edge in self.edges if edge.target is node]
+
+    def successors(self, node: PDGNode) -> List[PDGNode]:
+        return [edge.target for edge in self.edges if edge.source is node]
+
+    # -- export ----------------------------------------------------------------------
+    def to_dot(self) -> str:
+        graph = DotGraph("pdg_" + self.name)
+        for node in self.value_nodes.values():
+            graph.add_node(node.label, shape="ellipse")
+        for node in self.memory_nodes:
+            graph.add_node(node.label, shape="box")
+        for edge in self.edges:
+            graph.add_edge(edge.source.label, edge.target.label, label=edge.kind)
+        return graph.to_dot()

@@ -1,0 +1,214 @@
+"""The range-analysis driver.
+
+For every SSA value of integer type the analysis computes an
+:class:`~repro.rangeanalysis.interval.Interval` that over-approximates the
+values the variable may hold at run time.  The algorithm follows the
+three-phase structure of Rodrigues et al.'s implementation (the one the
+paper's artifact uses):
+
+1. build the data-dependence graph of the function and split it into
+   strongly connected components;
+2. solve the components in topological order — acyclic components are
+   evaluated directly, cyclic components are iterated with *widening* until
+   stable;
+3. run a *narrowing* pass over cyclic components to recover precision lost
+   to widening (in particular bounds coming from loop exit conditions).
+
+When the function is in e-SSA form (after
+:func:`repro.essa.transform.convert_to_essa`), σ-copies carry the branch
+condition that dominates them; the analysis uses those conditions to refine
+ranges, which is how ``for (i = 0; i < N; i++)`` yields ``i ∈ [0, N-1]`` on
+the true branch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BinaryOp,
+    Copy,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+)
+from repro.ir.values import Argument, ConstantInt, Undef, Value
+from repro.passes.pass_base import AnalysisPass
+from repro.rangeanalysis.graph import DependencyGraph
+from repro.rangeanalysis.interval import Interval
+
+
+class RangeAnalysis:
+    """Computes and stores value ranges for a single function."""
+
+    #: number of chaotic iterations inside a cyclic component before widening
+    #: kicks in; small values keep the analysis fast, larger values keep more
+    #: precision for short chains.
+    ITERATIONS_BEFORE_WIDENING = 3
+    #: bound on narrowing iterations (narrowing always terminates, this is a
+    #: belt-and-braces fuel limit).
+    MAX_NARROWING_ITERATIONS = 16
+
+    def __init__(self, function: Function,
+                 argument_ranges: Optional[Dict[Argument, Interval]] = None) -> None:
+        self.function = function
+        self.argument_ranges = argument_ranges or {}
+        self.ranges: Dict[Value, Interval] = {}
+        self._run()
+
+    # -- public API ---------------------------------------------------------------
+    def range_of(self, value: Value) -> Interval:
+        """The interval of ``value`` (top for untracked values, exact for constants)."""
+        if isinstance(value, ConstantInt):
+            return Interval.constant(value.value)
+        if isinstance(value, Undef):
+            return Interval.top()
+        return self.ranges.get(value, Interval.top())
+
+    def is_strictly_positive(self, value: Value) -> bool:
+        return self.range_of(value).is_strictly_positive()
+
+    def is_strictly_negative(self, value: Value) -> bool:
+        return self.range_of(value).is_strictly_negative()
+
+    # -- solving ---------------------------------------------------------------------
+    def _run(self) -> None:
+        if self.function.is_declaration():
+            return
+        graph = DependencyGraph(self.function)
+        for node in graph.nodes:
+            self.ranges[node] = Interval.bottom()
+        for component in graph.components_in_topological_order():
+            if graph.component_is_cyclic(component):
+                self._solve_cyclic(component)
+            else:
+                self._solve_acyclic(component[0])
+
+    def _solve_acyclic(self, value: Value) -> None:
+        self.ranges[value] = self._evaluate(value)
+
+    def _solve_cyclic(self, component: List[Value]) -> None:
+        members = list(component)
+        # Phase 1: plain iteration, then widening until stabilisation.
+        for iteration in range(self.ITERATIONS_BEFORE_WIDENING):
+            changed = False
+            for value in members:
+                new = self._evaluate(value)
+                if new != self.ranges[value]:
+                    self.ranges[value] = new
+                    changed = True
+            if not changed:
+                return
+        stable = False
+        while not stable:
+            stable = True
+            for value in members:
+                new = self._evaluate(value)
+                widened = self.ranges[value].widen(new)
+                if widened != self.ranges[value]:
+                    self.ranges[value] = widened
+                    stable = False
+        # Phase 2: narrowing.
+        for _ in range(self.MAX_NARROWING_ITERATIONS):
+            changed = False
+            for value in members:
+                new = self._evaluate(value)
+                narrowed = self.ranges[value].narrow(new)
+                if narrowed != self.ranges[value]:
+                    self.ranges[value] = narrowed
+                    changed = True
+            if not changed:
+                break
+
+    # -- transfer functions -----------------------------------------------------------
+    def _operand_range(self, value: Value) -> Interval:
+        if isinstance(value, ConstantInt):
+            return Interval.constant(value.value)
+        if isinstance(value, Undef):
+            return Interval.top()
+        return self.ranges.get(value, Interval.top())
+
+    def _evaluate(self, value: Value) -> Interval:
+        if isinstance(value, Argument):
+            return self.argument_ranges.get(value, Interval.top())
+        if isinstance(value, ConstantInt):
+            return Interval.constant(value.value)
+        if isinstance(value, BinaryOp):
+            return self._evaluate_binary(value)
+        if isinstance(value, Phi):
+            result = Interval.bottom()
+            for incoming, _block in value.incoming():
+                result = result.join(self._operand_range(incoming))
+            return result
+        if isinstance(value, Copy):
+            source_range = self._operand_range(value.source)
+            return self._refine_sigma(value, source_range)
+        if isinstance(value, (Load, GetElementPtr)):
+            # Loads produce unknown integers; geps are pointers (ranges are
+            # not meaningful but keeping top keeps the graph uniform).
+            return Interval.top()
+        return Interval.top()
+
+    def _evaluate_binary(self, inst: BinaryOp) -> Interval:
+        lhs = self._operand_range(inst.lhs)
+        rhs = self._operand_range(inst.rhs)
+        if inst.op == "add":
+            return lhs.add(rhs)
+        if inst.op == "sub":
+            return lhs.sub(rhs)
+        if inst.op == "mul":
+            return lhs.mul(rhs)
+        if inst.op == "div":
+            return lhs.div(rhs)
+        if inst.op == "rem":
+            return lhs.rem(rhs)
+        return Interval.top()
+
+    def _refine_sigma(self, copy: Copy, source_range: Interval) -> Interval:
+        """Refine the range of a σ-copy with the branch condition it encodes.
+
+        The e-SSA transformation annotates σ-copies with the comparison that
+        guards them (``sigma_condition``), which operand of the comparison the
+        copy renames (``sigma_operand_side``: "lhs" or "rhs") and whether the
+        copy lives on the true or the false branch (``sigma_on_true_branch``).
+        """
+        condition = getattr(copy, "sigma_condition", None)
+        if not isinstance(condition, ICmp):
+            return source_range
+        side = getattr(copy, "sigma_operand_side", None)
+        on_true = getattr(copy, "sigma_on_true_branch", True)
+        lhs_range = self._operand_range(condition.lhs)
+        rhs_range = self._operand_range(condition.rhs)
+        predicate = condition.predicate
+        if not on_true:
+            predicate = ICmp.NEGATED[predicate]
+        if side == "lhs":
+            mine, other = source_range, rhs_range
+        elif side == "rhs":
+            mine, other = source_range, lhs_range
+            predicate = ICmp.SWAPPED[predicate]
+        else:
+            return source_range
+        if predicate == "slt":
+            return mine.refine_less_than(other)
+        if predicate == "sle":
+            return mine.refine_less_equal(other)
+        if predicate == "sgt":
+            return mine.refine_greater_than(other)
+        if predicate == "sge":
+            return mine.refine_greater_equal(other)
+        if predicate == "eq":
+            return mine.refine_equal(other)
+        return mine
+
+
+class RangeAnalysisPass(AnalysisPass):
+    """Pass-manager wrapper around :class:`RangeAnalysis`."""
+
+    name = "range-analysis"
+
+    def run_on_function(self, function: Function) -> RangeAnalysis:
+        return RangeAnalysis(function)

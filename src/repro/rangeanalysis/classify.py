@@ -1,0 +1,83 @@
+"""Classification of arithmetic into growths and decrements.
+
+Section 3.2 of the paper ("The Support of Range Analysis on Integer
+Intervals") explains how the less-than analysis decides what an arithmetic
+instruction means: given ``x1 = x2 + x3``, the instruction *grows* ``x2``
+when ``x3`` is strictly positive, *shrinks* it when ``x3`` is strictly
+negative, and carries no information otherwise.  The same classification
+drives both the e-SSA live-range splitting (shrinking instructions get a
+parallel copy) and the constraint generation.
+
+Pointer arithmetic (``gep``) is classified the same way through its index.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional
+
+from repro.ir.instructions import BinaryOp, GetElementPtr, Instruction
+from repro.ir.values import ConstantInt, Value
+from repro.rangeanalysis.analysis import RangeAnalysis
+
+
+class AdditiveFact(NamedTuple):
+    """One ordering fact derived from an additive instruction.
+
+    ``base`` is the operand being offset; ``kind`` is ``"grow"`` when the
+    result is strictly greater than ``base`` and ``"shrink"`` when it is
+    strictly smaller.
+    """
+
+    base: Value
+    kind: str  # "grow" | "shrink"
+
+
+def classify_additive(inst: Instruction, ranges: RangeAnalysis) -> List[AdditiveFact]:
+    """Return the ordering facts established by ``inst`` (possibly empty).
+
+    * ``x1 = x2 + x3`` with ``x3 > 0`` yields ``grow(x2)``; with ``x2 > 0``
+      it also yields ``grow(x3)``; strictly negative operands yield
+      ``shrink`` of the other operand.
+    * ``x1 = x2 - x3`` with ``x3 > 0`` yields ``shrink(x2)``; with ``x3 < 0``
+      it yields ``grow(x2)``.
+    * ``p1 = gep p, i`` behaves like ``p1 = p + i``.
+    * anything else yields no facts (the paper's "unknown instruction").
+    """
+    if isinstance(inst, GetElementPtr):
+        index_range = ranges.range_of(inst.index)
+        if index_range.is_strictly_positive():
+            return [AdditiveFact(inst.base, "grow")]
+        if index_range.is_strictly_negative():
+            return [AdditiveFact(inst.base, "shrink")]
+        return []
+    if not isinstance(inst, BinaryOp):
+        return []
+    facts: List[AdditiveFact] = []
+    if inst.op == "add":
+        lhs_range = ranges.range_of(inst.lhs)
+        rhs_range = ranges.range_of(inst.rhs)
+        if rhs_range.is_strictly_positive():
+            facts.append(AdditiveFact(inst.lhs, "grow"))
+        elif rhs_range.is_strictly_negative():
+            facts.append(AdditiveFact(inst.lhs, "shrink"))
+        if lhs_range.is_strictly_positive():
+            facts.append(AdditiveFact(inst.rhs, "grow"))
+        elif lhs_range.is_strictly_negative():
+            facts.append(AdditiveFact(inst.rhs, "shrink"))
+        return facts
+    if inst.op == "sub":
+        rhs_range = ranges.range_of(inst.rhs)
+        if rhs_range.is_strictly_positive():
+            facts.append(AdditiveFact(inst.lhs, "shrink"))
+        elif rhs_range.is_strictly_negative():
+            facts.append(AdditiveFact(inst.lhs, "grow"))
+        return facts
+    return []
+
+
+def shrink_base(inst: Instruction, ranges: RangeAnalysis) -> Optional[Value]:
+    """The operand whose live range must be split because ``inst`` shrinks it."""
+    for fact in classify_additive(inst, ranges):
+        if fact.kind == "shrink":
+            return fact.base
+    return None

@@ -1,0 +1,242 @@
+"""The interval abstract domain.
+
+An :class:`Interval` is a pair ``[lower, upper]`` of extended integers
+(integers extended with minus and plus infinity).  The empty interval is the
+bottom element; ``[-inf, +inf]`` is the top element.  The domain supports the
+abstract counterparts of the arithmetic the IR performs plus the lattice
+operations (join, meet, widening, narrowing) that the fixed-point solver
+needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple, Union
+
+# Extended integers: plain Python ints plus the two infinities, represented
+# with floats so that comparisons work out of the box.
+NEG_INF = float("-inf")
+POS_INF = float("inf")
+
+Extended = Union[int, float]
+
+
+def _add(a: Extended, b: Extended) -> Extended:
+    """Extended addition; infinity absorbs."""
+    if a in (NEG_INF, POS_INF):
+        return a
+    if b in (NEG_INF, POS_INF):
+        return b
+    return a + b
+
+
+def _mul(a: Extended, b: Extended) -> Extended:
+    """Extended multiplication with 0 * inf = 0 (the usual interval convention)."""
+    if a == 0 or b == 0:
+        return 0
+    if a in (NEG_INF, POS_INF) or b in (NEG_INF, POS_INF):
+        positive = (a > 0) == (b > 0)
+        return POS_INF if positive else NEG_INF
+    return a * b
+
+
+class Interval:
+    """A closed interval of extended integers, or the empty (bottom) interval."""
+
+    __slots__ = ("lower", "upper", "_empty")
+
+    def __init__(self, lower: Extended = NEG_INF, upper: Extended = POS_INF,
+                 empty: bool = False) -> None:
+        if not empty and lower > upper:
+            raise ValueError("interval lower bound {} exceeds upper bound {}".format(lower, upper))
+        self._empty = empty
+        self.lower = lower if not empty else POS_INF
+        self.upper = upper if not empty else NEG_INF
+
+    # -- constructors ---------------------------------------------------------
+    @staticmethod
+    def top() -> "Interval":
+        return Interval(NEG_INF, POS_INF)
+
+    @staticmethod
+    def bottom() -> "Interval":
+        return Interval(empty=True)
+
+    @staticmethod
+    def constant(value: int) -> "Interval":
+        return Interval(value, value)
+
+    @staticmethod
+    def at_least(value: Extended) -> "Interval":
+        return Interval(value, POS_INF)
+
+    @staticmethod
+    def at_most(value: Extended) -> "Interval":
+        return Interval(NEG_INF, value)
+
+    # -- predicates --------------------------------------------------------------
+    def is_bottom(self) -> bool:
+        return self._empty
+
+    def is_top(self) -> bool:
+        return not self._empty and self.lower == NEG_INF and self.upper == POS_INF
+
+    def is_constant(self) -> bool:
+        return not self._empty and self.lower == self.upper
+
+    def is_strictly_positive(self) -> bool:
+        return not self._empty and self.lower > 0
+
+    def is_strictly_negative(self) -> bool:
+        return not self._empty and self.upper < 0
+
+    def is_non_negative(self) -> bool:
+        return not self._empty and self.lower >= 0
+
+    def is_non_positive(self) -> bool:
+        return not self._empty and self.upper <= 0
+
+    def contains(self, value: int) -> bool:
+        return not self._empty and self.lower <= value <= self.upper
+
+    def intersects(self, other: "Interval") -> bool:
+        if self._empty or other._empty:
+            return False
+        return self.lower <= other.upper and other.lower <= self.upper
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Interval):
+            return NotImplemented
+        if self._empty or other._empty:
+            return self._empty and other._empty
+        return self.lower == other.lower and self.upper == other.upper
+
+    def __hash__(self) -> int:
+        return hash((self._empty, self.lower, self.upper))
+
+    def __repr__(self) -> str:
+        if self._empty:
+            return "Interval(bottom)"
+        return "Interval[{}, {}]".format(self.lower, self.upper)
+
+    # -- lattice operations ---------------------------------------------------------
+    def join(self, other: "Interval") -> "Interval":
+        """Least upper bound (interval hull)."""
+        if self._empty:
+            return other
+        if other._empty:
+            return self
+        return Interval(min(self.lower, other.lower), max(self.upper, other.upper))
+
+    def meet(self, other: "Interval") -> "Interval":
+        """Greatest lower bound (intersection)."""
+        if self._empty or other._empty:
+            return Interval.bottom()
+        lower = max(self.lower, other.lower)
+        upper = min(self.upper, other.upper)
+        if lower > upper:
+            return Interval.bottom()
+        return Interval(lower, upper)
+
+    def widen(self, other: "Interval") -> "Interval":
+        """Standard interval widening: unstable bounds jump to infinity."""
+        if self._empty:
+            return other
+        if other._empty:
+            return self
+        lower = self.lower if other.lower >= self.lower else NEG_INF
+        upper = self.upper if other.upper <= self.upper else POS_INF
+        return Interval(lower, upper)
+
+    def narrow(self, other: "Interval") -> "Interval":
+        """Standard interval narrowing: infinities are refined, finite bounds kept."""
+        if self._empty or other._empty:
+            return Interval.bottom()
+        lower = other.lower if self.lower == NEG_INF else self.lower
+        upper = other.upper if self.upper == POS_INF else self.upper
+        if lower > upper:
+            return Interval.bottom()
+        return Interval(lower, upper)
+
+    def includes(self, other: "Interval") -> bool:
+        """True if ``other`` is a subset of ``self``."""
+        if other._empty:
+            return True
+        if self._empty:
+            return False
+        return self.lower <= other.lower and other.upper <= self.upper
+
+    # -- abstract arithmetic --------------------------------------------------------
+    def add(self, other: "Interval") -> "Interval":
+        if self._empty or other._empty:
+            return Interval.bottom()
+        return Interval(_add(self.lower, other.lower), _add(self.upper, other.upper))
+
+    def neg(self) -> "Interval":
+        if self._empty:
+            return Interval.bottom()
+        return Interval(-self.upper, -self.lower)
+
+    def sub(self, other: "Interval") -> "Interval":
+        return self.add(other.neg())
+
+    def mul(self, other: "Interval") -> "Interval":
+        if self._empty or other._empty:
+            return Interval.bottom()
+        products = [
+            _mul(self.lower, other.lower),
+            _mul(self.lower, other.upper),
+            _mul(self.upper, other.lower),
+            _mul(self.upper, other.upper),
+        ]
+        return Interval(min(products), max(products))
+
+    def div(self, other: "Interval") -> "Interval":
+        """Conservative division: exact only when the divisor is a non-zero constant."""
+        if self._empty or other._empty:
+            return Interval.bottom()
+        if other.is_constant() and other.lower not in (0, NEG_INF, POS_INF):
+            divisor = other.lower
+            candidates = []
+            for bound in (self.lower, self.upper):
+                if bound in (NEG_INF, POS_INF):
+                    candidates.append(bound if divisor > 0 else -bound)
+                else:
+                    candidates.append(int(bound / divisor))
+            return Interval(min(candidates), max(candidates))
+        return Interval.top()
+
+    def rem(self, other: "Interval") -> "Interval":
+        """Conservative remainder: bounded by the divisor magnitude when known."""
+        if self._empty or other._empty:
+            return Interval.bottom()
+        if other.is_constant() and other.lower not in (0, NEG_INF, POS_INF):
+            magnitude = abs(other.lower) - 1
+            return Interval(-magnitude, magnitude)
+        return Interval.top()
+
+    # -- comparison-driven refinement --------------------------------------------------
+    def refine_less_than(self, other: "Interval") -> "Interval":
+        """The part of ``self`` consistent with ``self < other``."""
+        if self._empty or other._empty:
+            return Interval.bottom()
+        bound = other.upper if other.upper in (NEG_INF, POS_INF) else other.upper - 1
+        return self.meet(Interval.at_most(bound))
+
+    def refine_less_equal(self, other: "Interval") -> "Interval":
+        if self._empty or other._empty:
+            return Interval.bottom()
+        return self.meet(Interval.at_most(other.upper))
+
+    def refine_greater_than(self, other: "Interval") -> "Interval":
+        if self._empty or other._empty:
+            return Interval.bottom()
+        bound = other.lower if other.lower in (NEG_INF, POS_INF) else other.lower + 1
+        return self.meet(Interval.at_least(bound))
+
+    def refine_greater_equal(self, other: "Interval") -> "Interval":
+        if self._empty or other._empty:
+            return Interval.bottom()
+        return self.meet(Interval.at_least(other.lower))
+
+    def refine_equal(self, other: "Interval") -> "Interval":
+        return self.meet(other)

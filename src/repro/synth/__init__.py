@@ -1,0 +1,42 @@
+"""Synthetic workloads for the evaluation harness.
+
+The paper evaluates on SPEC CPU2006, the LLVM test-suite and Csmith-generated
+programs — none of which can be redistributed or rebuilt offline.  This
+package provides the substitutes (documented in ``DESIGN.md``):
+
+* :mod:`repro.synth.kernels` — hand-written mini-C kernels that make heavy
+  use of pointer arithmetic (the paper's Figure 1 programs among them);
+* :mod:`repro.synth.csmith` — a random program generator in the spirit of
+  Csmith, tuned the way the paper tunes it (single function plus ``main``,
+  constant indices, configurable pointer nesting depth);
+* :mod:`repro.synth.workloads` — benchmark suites assembled from the above:
+  a 100-program "test-suite-like" collection of growing size and a
+  16-program "SPEC-like" collection whose per-program mix of pointer
+  arithmetic and allocation sites follows the profiles in
+  :mod:`repro.synth.spec_profiles`.
+"""
+
+from repro.synth.kernels import KERNEL_SOURCES, kernel_module, kernel_names
+from repro.synth.csmith import CsmithConfig, RandomProgramGenerator, generate_random_module
+from repro.synth.workloads import (
+    WorkloadProgram,
+    build_spec_module,
+    spec_benchmarks,
+    build_testsuite_programs,
+)
+from repro.synth.spec_profiles import SPEC_PROFILES, SpecProfile
+
+__all__ = [
+    "KERNEL_SOURCES",
+    "kernel_module",
+    "kernel_names",
+    "CsmithConfig",
+    "RandomProgramGenerator",
+    "generate_random_module",
+    "WorkloadProgram",
+    "build_spec_module",
+    "spec_benchmarks",
+    "build_testsuite_programs",
+    "SPEC_PROFILES",
+    "SpecProfile",
+]

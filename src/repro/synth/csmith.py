@@ -1,0 +1,277 @@
+"""A Csmith-like random program generator.
+
+The applicability experiment of the paper (Figure 12) uses Csmith to produce
+120 random C programs with a single function (plus ``main``), an average of
+six static allocation sites, compile-time-constant indices and a pointer
+nesting depth swept from 2 to 7.  This module generates mini-C programs with
+exactly those characteristics.  The generator is deterministic for a given
+seed so the benchmark harness is reproducible.
+
+Generated programs are also *executable* (they only touch memory in bounds),
+which the property-based tests exploit: they run the programs under the
+reference interpreter and check the adequacy invariant of the less-than
+analysis on the recorded traces.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.frontend import compile_source
+from repro.ir.module import Module
+
+#: size of every local array the generator declares; indices are drawn well
+#: below this bound so the programs never access memory out of bounds, even
+#: after the bounded pointer walks the generator may emit.
+ARRAY_SIZE = 64
+
+#: maximum total distance a level-1 pointer may be walked forward; keeps all
+#: accesses through walked pointers inside the arrays.
+MAX_WALK = 8
+
+
+@dataclass
+class CsmithConfig:
+    """Tuning knobs of the random program generator."""
+
+    seed: int = 0
+    #: pointer nesting depth (2..7 in the paper's experiment).
+    pointer_depth: int = 2
+    #: number of local arrays (static allocation sites); the paper reports an
+    #: average of six per program.
+    array_count: int = 6
+    #: number of random statements in the body of the generated function.
+    statement_count: int = 30
+    #: number of small constant-bound loops to sprinkle in.
+    loop_count: int = 2
+    #: number of ``int*`` parameters of the work function.  Csmith-style
+    #: closed programs use 0 (everything is a local array); the SPEC-like
+    #: workloads use a few so that part of the memory traffic goes through
+    #: incoming pointers, which the basic alias analysis cannot track.
+    parameter_count: int = 0
+    #: number of "streaming" loops that build a chain of derived pointers
+    #: (``c0 = base + i; c1 = c0 + 1; ...``) — the lbm/milc-style pointer
+    #: arithmetic that only the strict-inequality analysis disambiguates.
+    chain_loops: int = 0
+    #: length of each derived-pointer chain.
+    chain_length: int = 4
+
+
+class RandomProgramGenerator:
+    """Generates one mini-C program per :class:`CsmithConfig`."""
+
+    def __init__(self, config: CsmithConfig) -> None:
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.arrays: List[str] = []           # local arrays and int* parameters
+        self.parameters: List[str] = []
+        self.pointers: List[List[str]] = []   # pointers[d] = names of depth d+1 pointers
+        self.walked: dict = {}                # level-1 pointer name -> total forward walk
+
+    # -- helpers --------------------------------------------------------------------
+    def _const(self, lo: int = 0, hi: int = 15) -> int:
+        return self.rng.randint(lo, hi)
+
+    def _array(self) -> str:
+        return self.rng.choice(self.arrays)
+
+    def _pointer(self, depth: int) -> str:
+        return self.rng.choice(self.pointers[depth - 1])
+
+    def _deref_to_int_pointer(self, depth: int) -> str:
+        """An expression of type ``int*`` obtained by dereferencing a deeper pointer."""
+        name = self._pointer(depth)
+        return "(" + "*" * (depth - 1) + name + ")"
+
+    # -- program pieces ----------------------------------------------------------------
+    def _declarations(self) -> List[str]:
+        lines: List[str] = []
+        # Incoming pointer parameters behave like arrays for indexing purposes.
+        self.arrays.extend(self.parameters)
+        for index in range(self.config.array_count):
+            name = "arr{}".format(index)
+            self.arrays.append(name)
+            lines.append("  int {}[{}];".format(name, ARRAY_SIZE))
+        # Depth-1 pointers are derived from arrays with constant offsets.
+        level1: List[str] = []
+        for index in range(max(2, self.config.array_count // 2)):
+            name = "p1_{}".format(index)
+            level1.append(name)
+            lines.append("  int* {} = {} + {};".format(name, self._array(), self._const(0, 4)))
+        self.pointers.append(level1)
+        # Deeper pointers take the address of the previous level.
+        for depth in range(2, self.config.pointer_depth + 1):
+            level: List[str] = []
+            for index in range(2):
+                name = "p{}_{}".format(depth, index)
+                level.append(name)
+                target = self._pointer(depth - 1)
+                lines.append("  int{} {} = &{};".format("*" * depth, name, target))
+            self.pointers.append(level)
+        return lines
+
+    def _statement(self) -> str:
+        choice = self.rng.randrange(6)
+        if choice == 0:
+            # Constant-index store into an array.
+            return "  {}[{}] = {};".format(self._array(), self._const(), self._const(0, 99))
+        if choice == 1:
+            # Constant-index store through a level-1 pointer.  The index stays
+            # small enough that even a fully walked pointer remains in bounds.
+            return "  {}[{}] = {}[{}] + {};".format(
+                self._pointer(1), self._const(0, 15),
+                self._array(), self._const(), self._const(0, 9))
+        if choice == 2:
+            # Store through a dereferenced deep pointer (constant index).
+            depth = self.rng.randint(2, self.config.pointer_depth)
+            return "  {}[{}] = {};".format(
+                self._deref_to_int_pointer(depth), self._const(0, 4), self._const(0, 99))
+        if choice == 3:
+            # Accumulate a read into the checksum.
+            return "  checksum += {}[{}];".format(self._array(), self._const())
+        if choice == 4:
+            # Read through a deep pointer.
+            depth = self.rng.randint(2, self.config.pointer_depth)
+            return "  checksum += {}[{}];".format(self._deref_to_int_pointer(depth), self._const(0, 4))
+        # Derived-pointer chain: walk a level-1 pointer forward by a constant,
+        # bounded so that later constant-index accesses stay inside the array.
+        name = self._pointer(1)
+        step = self._const(1, 2)
+        if self.walked.get(name, 0) + step > MAX_WALK:
+            return "  {}[{}] = {};".format(self._array(), self._const(), self._const(0, 99))
+        self.walked[name] = self.walked.get(name, 0) + step
+        return "  {0} = {0} + {1};".format(name, step)
+
+    def _loop(self, index: int) -> List[str]:
+        """A small constant-bound loop reading and writing one array.
+
+        The first two loops of every program are pinned to the shapes that
+        matter most for the evaluation — a two-index loop (the paper's
+        motivating pattern) and a stencil over consecutive elements — so that
+        every generated program contains accesses whose independence only the
+        strict-inequality analysis can establish.  Subsequent loops pick a
+        shape at random.
+
+        Each loop works on its own dedicated array (an extra allocation
+        site): mixing variable-index and constant-index accesses to the same
+        array would collapse them into a single memory node regardless of the
+        analysis, hiding the effect the experiment measures.
+        """
+        array = "larr{}".format(index)
+        other = self._array()
+        bound = self.rng.randint(4, 15)
+        var = "i{}".format(index)
+        if index == 0:
+            body_kind = 1
+        elif index == 1:
+            body_kind = 3
+        else:
+            body_kind = self.rng.randrange(4)
+        lines = ["  int {}[{}];".format(array, ARRAY_SIZE), "  int {};".format(var)]
+        if body_kind == 0:
+            lines.append("  for ({0} = 0; {0} < {1}; {0}++) {{".format(var, bound))
+            lines.append("    {0}[{1}] = {0}[{1}] + {2};".format(array, var, self._const(1, 5)))
+            lines.append("  }")
+        elif body_kind == 1:
+            # Two-index loop walking the array from both ends (the paper's
+            # motivating pattern, which only LT disambiguates).
+            var_hi = "j{}".format(index)
+            lines.append("  int {};".format(var_hi))
+            lines.append("  for ({0} = 0, {1} = {2}; {0} < {1}; {0}++, {1}--) {{".format(
+                var, var_hi, bound))
+            lines.append("    {0}[{1}] = {0}[{2}];".format(array, var, var_hi))
+            lines.append("  }")
+        elif body_kind == 3:
+            # Stencil over consecutive elements: v[i], v[t1], v[t2], ... where
+            # t1 = i + 1, t2 = t1 + 1, ...  The chained index variables give
+            # the less-than analysis a strict order over every pair of
+            # offsets, so it can separate all the accesses; the basic analysis
+            # sees variable offsets off the same base and separates none.
+            width = self.rng.randint(3, 5)
+            lines.append("  for ({0} = 0; {0} < {1}; {0}++) {{".format(var, bound))
+            previous = var
+            temps = []
+            for step in range(1, width + 1):
+                temp = "t{}_{}".format(index, step)
+                lines.append("    int {} = {} + 1;".format(temp, previous))
+                temps.append(temp)
+                previous = temp
+            terms = " + ".join("{}[{}]".format(array, temp) for temp in temps)
+            lines.append("    {0}[{1}] = {2};".format(array, var, terms))
+            lines.append("  }")
+        else:
+            lines.append("  for ({0} = 0; {0} < {1}; {0}++) {{".format(var, bound))
+            lines.append("    {0}[{1}] = {2}[{1}] + 1;".format(array, var, other))
+            lines.append("  }")
+        return lines
+
+    def _chain_loop(self, index: int) -> List[str]:
+        """A streaming loop building a chain of derived pointers off one base.
+
+        All pointers of the chain are strictly ordered (each is the previous
+        one plus one), and the base is preferably an incoming parameter, so
+        only the less-than analysis can prove the accesses independent.
+        """
+        base = self.rng.choice(self.parameters) if self.parameters else self._array()
+        bound = self.rng.randint(4, 15)
+        var = "s{}".format(index)
+        lines = ["  int {};".format(var)]
+        lines.append("  for ({0} = 0; {0} < {1}; {0}++) {{".format(var, bound))
+        previous = None
+        for link in range(self.config.chain_length):
+            name = "c{}_{}".format(index, link)
+            if previous is None:
+                lines.append("    int* {} = {} + {};".format(name, base, var))
+            else:
+                lines.append("    int* {} = {} + 1;".format(name, previous))
+            previous = name
+        first = "c{}_0".format(index)
+        last = previous
+        lines.append("    *{} = *{} + *{};".format(first, last, first))
+        lines.append("  }")
+        return lines
+
+    # -- entry points --------------------------------------------------------------------
+    def generate_source(self) -> str:
+        """Produce the program text: one work function plus ``main``."""
+        self.arrays = []
+        self.pointers = []
+        self.walked = {}
+        self.parameters = ["q{}".format(i) for i in range(self.config.parameter_count)]
+        signature = ", ".join("int* {}".format(name) for name in self.parameters)
+        lines: List[str] = ["int work({}) {{".format(signature), "  int checksum = 0;"]
+        lines.extend(self._declarations())
+        for index in range(self.config.loop_count):
+            lines.extend(self._loop(index))
+        for index in range(self.config.chain_loops):
+            lines.extend(self._chain_loop(index))
+        for _ in range(self.config.statement_count):
+            lines.append(self._statement())
+        lines.append("  return checksum;")
+        lines.append("}")
+        lines.append("")
+        lines.append("int main() {")
+        for index in range(self.config.parameter_count):
+            lines.append("  int buf{}[{}];".format(index, ARRAY_SIZE))
+        call_args = ", ".join("buf{}".format(i) for i in range(self.config.parameter_count))
+        lines.append("  return work({});".format(call_args))
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+    def generate_module(self, name: Optional[str] = None) -> Module:
+        source = self.generate_source()
+        module_name = name or "csmith_seed{}_depth{}".format(
+            self.config.seed, self.config.pointer_depth)
+        return compile_source(source, module_name=module_name)
+
+
+def generate_random_module(seed: int, pointer_depth: int = 2,
+                           statement_count: int = 30, loop_count: int = 2,
+                           array_count: int = 6) -> Module:
+    """One-call convenience wrapper used by benchmarks and tests."""
+    config = CsmithConfig(seed=seed, pointer_depth=pointer_depth,
+                          array_count=array_count,
+                          statement_count=statement_count, loop_count=loop_count)
+    return RandomProgramGenerator(config).generate_module()

@@ -1,0 +1,271 @@
+"""Hand-written mini-C kernels used throughout the evaluation.
+
+The collection is designed to cover the idioms the paper discusses:
+
+* the two motivating sorting routines of Figure 1 (``ins_sort`` and
+  ``partition``) where ``v[i]`` and ``v[j]`` never alias inside an iteration;
+* the pointer-walk idiom of Section 3.6 (``for (int* p = a; p < pe; p++)``);
+* two-index loops walking an array from both ends;
+* allocation-heavy code where the basic analysis (BA) shines;
+* mixed kernels exercising calls, nested loops and loads of pointers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.frontend import compile_source
+from repro.ir.module import Module
+
+KERNEL_SOURCES: Dict[str, str] = {
+    # -- Figure 1 (a) of the paper -------------------------------------------------
+    "ins_sort": """
+void ins_sort(int* v, int N) {
+  int i, j;
+  for (i = 0; i < N - 1; i++) {
+    for (j = i + 1; j < N; j++) {
+      if (v[i] > v[j]) {
+        int tmp = v[i];
+        v[i] = v[j];
+        v[j] = tmp;
+      }
+    }
+  }
+}
+""",
+    # -- Figure 1 (b) of the paper -------------------------------------------------
+    "partition": """
+void partition(int *v, int N) {
+  int i, j, p, tmp;
+  p = v[N / 2];
+  for (i = 0, j = N - 1; 1; i++, j--) {
+    while (v[i] < p) i++;
+    while (p < v[j]) j--;
+    if (i >= j)
+      break;
+    tmp = v[i];
+    v[i] = v[j];
+    v[j] = tmp;
+  }
+}
+""",
+    # -- the introduction's loop ----------------------------------------------------
+    "copy_reverse": """
+void copy_reverse(int* v, int N) {
+  int i, j;
+  for (i = 0, j = N; i < j; i++, j--) {
+    v[i] = v[j];
+  }
+}
+""",
+    # -- pointer walk (Section 3.6 idiom) --------------------------------------------
+    "pointer_walk": """
+int pointer_walk(int* p, int n) {
+  int* pe = p + n;
+  int total = 0;
+  int* pi;
+  for (pi = p; pi < pe; pi++) {
+    total += *pi;
+  }
+  return total;
+}
+""",
+    "reverse_in_place": """
+void reverse_in_place(int* v, int n) {
+  int lo = 0;
+  int hi = n - 1;
+  while (lo < hi) {
+    int tmp = v[lo];
+    v[lo] = v[hi];
+    v[hi] = tmp;
+    lo++;
+    hi--;
+  }
+}
+""",
+    "two_pointer_sum": """
+int two_pointer_sum(int* v, int n, int target) {
+  int lo = 0;
+  int hi = n - 1;
+  int hits = 0;
+  while (lo < hi) {
+    int s = v[lo] + v[hi];
+    if (s == target) { hits++; lo++; hi--; }
+    else if (s < target) { lo++; }
+    else { hi--; }
+  }
+  return hits;
+}
+""",
+    "vector_add": """
+void vector_add(int* a, int* b, int* c, int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    c[i] = a[i] + b[i];
+  }
+}
+""",
+    "dot_product": """
+int dot_product(int* a, int* b, int n) {
+  int total = 0;
+  int i;
+  for (i = 0; i < n; i++) total += a[i] * b[i];
+  return total;
+}
+""",
+    "stencil3": """
+void stencil3(int* src, int* dst, int n) {
+  int i;
+  for (i = 1; i < n - 1; i++) {
+    dst[i] = (src[i - 1] + src[i] + src[i + 1]) / 3;
+  }
+}
+""",
+    "prefix_sum": """
+void prefix_sum(int* v, int n) {
+  int i;
+  for (i = 1; i < n; i++) {
+    v[i] = v[i] + v[i - 1];
+  }
+}
+""",
+    "histogram": """
+void histogram(int* values, int n, int* bins, int nbins) {
+  int i;
+  for (i = 0; i < n; i++) {
+    int b = values[i] % nbins;
+    if (b < 0) b = 0 - b;
+    bins[b] = bins[b] + 1;
+  }
+}
+""",
+    "binary_search": """
+int binary_search(int* v, int n, int key) {
+  int lo = 0;
+  int hi = n;
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    if (v[mid] < key) lo = mid + 1;
+    else hi = mid;
+  }
+  return lo;
+}
+""",
+    "find_max_index": """
+int find_max_index(int* v, int n) {
+  int best = 0;
+  int i;
+  for (i = 1; i < n; i++) {
+    if (v[i] > v[best]) best = i;
+  }
+  return best;
+}
+""",
+    "memcopy": """
+void memcopy(int* dst, int* src, int n) {
+  int i;
+  for (i = 0; i < n; i++) dst[i] = src[i];
+}
+""",
+    "sliding_window_max": """
+int sliding_window_max(int* v, int n, int w) {
+  int best = 0;
+  int i, j;
+  for (i = 0; i + w <= n; i++) {
+    int local = v[i];
+    for (j = i + 1; j < i + w; j++) {
+      if (v[j] > local) local = v[j];
+    }
+    if (local > best) best = local;
+  }
+  return best;
+}
+""",
+    # -- allocation-heavy code (where BA is strong) -----------------------------------
+    "alloc_buffers": """
+int alloc_buffers(int n) {
+  int* a = malloc(n);
+  int* b = malloc(n);
+  int* c = malloc(n);
+  int i;
+  for (i = 0; i < n; i++) {
+    a[i] = i;
+    b[i] = i * 2;
+    c[i] = a[i] + b[i];
+  }
+  return c[n - 1];
+}
+""",
+    "queue_simulation": """
+int queue_simulation(int n) {
+  int* ring = malloc(n);
+  int head = 0;
+  int tail = 0;
+  int produced = 0;
+  int consumed = 0;
+  while (produced < n) {
+    ring[tail] = produced;
+    tail = (tail + 1) % n;
+    produced++;
+    if (produced % 3 == 0) {
+      consumed += ring[head];
+      head = (head + 1) % n;
+    }
+  }
+  return consumed;
+}
+""",
+    "matrix_row_sum": """
+int matrix_row_sum(int* m, int rows, int cols, int* out) {
+  int r, c;
+  int total = 0;
+  for (r = 0; r < rows; r++) {
+    int acc = 0;
+    for (c = 0; c < cols; c++) {
+      acc += m[r * cols + c];
+    }
+    out[r] = acc;
+    total += acc;
+  }
+  return total;
+}
+""",
+    "merge_sorted": """
+void merge_sorted(int* a, int na, int* b, int nb, int* out) {
+  int i = 0;
+  int j = 0;
+  int k = 0;
+  while (i < na && j < nb) {
+    if (a[i] <= b[j]) { out[k] = a[i]; i++; }
+    else { out[k] = b[j]; j++; }
+    k++;
+  }
+  while (i < na) { out[k] = a[i]; i++; k++; }
+  while (j < nb) { out[k] = b[j]; j++; k++; }
+}
+""",
+    "saxpy_calls": """
+int scale(int a, int x) { return a * x; }
+int saxpy_calls(int* x, int* y, int n, int a) {
+  int i;
+  int checksum = 0;
+  for (i = 0; i < n; i++) {
+    y[i] = scale(a, x[i]) + y[i];
+    checksum += y[i];
+  }
+  return checksum;
+}
+""",
+}
+
+
+def kernel_names() -> List[str]:
+    """Names of every available kernel, in a stable order."""
+    return sorted(KERNEL_SOURCES)
+
+
+def kernel_module(name: str) -> Module:
+    """Compile the kernel ``name`` to an IR module."""
+    if name not in KERNEL_SOURCES:
+        raise KeyError("unknown kernel {!r}; available: {}".format(name, ", ".join(kernel_names())))
+    return compile_source(KERNEL_SOURCES[name], module_name=name)

@@ -1,0 +1,136 @@
+"""A set that remembers insertion order.
+
+Static analyses are much easier to debug when their outputs are
+deterministic.  Python sets do not guarantee iteration order across runs for
+arbitrary objects (identity hashing depends on addresses), so every place in
+the code base that stores collections of IR values uses :class:`OrderedSet`
+instead of the built-in ``set``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Optional, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class OrderedSet:
+    """A mutable set preserving insertion order.
+
+    The implementation stores members as keys of a ``dict``, which preserves
+    insertion order since Python 3.7.  The class implements the subset of the
+    ``set`` interface that the analyses need: membership, union,
+    intersection, difference, update operations and iteration.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Optional[Iterable[T]] = None) -> None:
+        self._items = {}
+        if items is not None:
+            for item in items:
+                self._items[item] = None
+
+    # -- basic protocol ----------------------------------------------------
+    def __contains__(self, item: T) -> bool:
+        return item in self._items
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, OrderedSet):
+            return set(self._items) == set(other._items)
+        if isinstance(other, (set, frozenset)):
+            return set(self._items) == other
+        return NotImplemented
+
+    def __hash__(self):  # pragma: no cover - explicit unhashability
+        raise TypeError("OrderedSet is mutable and therefore unhashable")
+
+    def __repr__(self) -> str:
+        return "OrderedSet({})".format(list(self._items))
+
+    # -- mutation ----------------------------------------------------------
+    def add(self, item: T) -> None:
+        """Insert ``item``; no effect if already present."""
+        self._items[item] = None
+
+    def discard(self, item: T) -> None:
+        """Remove ``item`` if present."""
+        self._items.pop(item, None)
+
+    def remove(self, item: T) -> None:
+        """Remove ``item``; raise ``KeyError`` if absent."""
+        del self._items[item]
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def update(self, items: Iterable[T]) -> None:
+        for item in items:
+            self._items[item] = None
+
+    def intersection_update(self, other: Iterable[T]) -> None:
+        keep = set(other)
+        self._items = {k: None for k in self._items if k in keep}
+
+    def difference_update(self, other: Iterable[T]) -> None:
+        drop = set(other)
+        self._items = {k: None for k in self._items if k not in drop}
+
+    def pop(self) -> T:
+        """Remove and return the first (oldest) element."""
+        item = next(iter(self._items))
+        del self._items[item]
+        return item
+
+    # -- non-mutating operations -------------------------------------------
+    def copy(self) -> "OrderedSet":
+        new = OrderedSet()
+        new._items = dict(self._items)
+        return new
+
+    def union(self, *others: Iterable[T]) -> "OrderedSet":
+        new = self.copy()
+        for other in others:
+            new.update(other)
+        return new
+
+    def intersection(self, *others: Iterable[T]) -> "OrderedSet":
+        new = self.copy()
+        for other in others:
+            new.intersection_update(other)
+        return new
+
+    def difference(self, *others: Iterable[T]) -> "OrderedSet":
+        new = self.copy()
+        for other in others:
+            new.difference_update(other)
+        return new
+
+    def issubset(self, other: Iterable[T]) -> bool:
+        other_set = set(other)
+        return all(item in other_set for item in self._items)
+
+    def issuperset(self, other: Iterable[T]) -> bool:
+        return all(item in self._items for item in other)
+
+    def isdisjoint(self, other: Iterable[T]) -> bool:
+        return all(item not in self._items for item in other)
+
+    # Operator sugar mirroring ``set``.
+    def __or__(self, other: Iterable[T]) -> "OrderedSet":
+        return self.union(other)
+
+    def __and__(self, other: Iterable[T]) -> "OrderedSet":
+        return self.intersection(other)
+
+    def __sub__(self, other: Iterable[T]) -> "OrderedSet":
+        return self.difference(other)

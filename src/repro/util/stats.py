@@ -1,0 +1,77 @@
+"""Tiny statistics helpers used by the evaluation harness.
+
+The scalability experiment (Figure 11 of the paper) reports the coefficient
+of determination (R squared) between the number of instructions of a program
+and the number of less-than constraints generated for it.  These helpers keep
+the benchmark code free of ad-hoc math and are unit-tested on their own.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean.  Raises ``ValueError`` on an empty sequence."""
+    if not values:
+        raise ValueError("mean() of empty sequence")
+    return sum(values) / len(values)
+
+
+def median(values: Sequence[float]) -> float:
+    """Median of the sequence.  Raises ``ValueError`` on an empty sequence."""
+    if not values:
+        raise ValueError("median() of empty sequence")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2 == 1:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def linear_regression(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Ordinary least-squares fit ``y = slope * x + intercept``.
+
+    Returns ``(slope, intercept)``.  Requires at least two points and a
+    non-degenerate ``xs`` (not all identical).
+    """
+    if len(xs) != len(ys):
+        raise ValueError("x and y must have the same length")
+    if len(xs) < 2:
+        raise ValueError("need at least two points for a regression")
+    mx, my = mean(xs), mean(ys)
+    sxx = sum((x - mx) ** 2 for x in xs)
+    if sxx == 0:
+        raise ValueError("all x values are identical; slope is undefined")
+    sxy = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = my - slope * mx
+    return slope, intercept
+
+
+def coefficient_of_determination(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """R squared of the least-squares linear fit of ``ys`` against ``xs``.
+
+    A value close to 1.0 indicates a strong linear relationship; the paper
+    reports 0.992 between instruction counts and constraint counts.
+    """
+    slope, intercept = linear_regression(xs, ys)
+    my = mean(ys)
+    ss_tot = sum((y - my) ** 2 for y in ys)
+    if ss_tot == 0:
+        # All y identical: the fit is exact by definition.
+        return 1.0
+    ss_res = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+    return 1.0 - ss_res / ss_tot
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Return min/max/mean/median of ``values`` as a dictionary."""
+    if not values:
+        raise ValueError("summarize() of empty sequence")
+    return {
+        "min": float(min(values)),
+        "max": float(max(values)),
+        "mean": mean(values),
+        "median": median(values),
+    }

@@ -1,0 +1,59 @@
+"""A FIFO worklist that avoids duplicate pending entries.
+
+The less-than constraint solver and the range analysis both follow the usual
+chaotic-iteration scheme: pop an item, re-evaluate its transfer function, and
+push its dependents when the abstract state changed.  Pushing an item that is
+already pending is wasteful, so the worklist tracks membership.
+
+The class also counts the total number of pops, which the paper uses in
+Section 4.2 to argue that each constraint is visited roughly twice before the
+fixed point is reached.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Hashable, Iterable, Optional, Set, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class Worklist(Generic[T]):
+    """FIFO worklist with duplicate suppression and pop accounting."""
+
+    def __init__(self, items: Optional[Iterable[T]] = None) -> None:
+        self._queue: Deque[T] = deque()
+        self._pending: Set[T] = set()
+        self.pops = 0
+        self.pushes = 0
+        if items is not None:
+            for item in items:
+                self.push(item)
+
+    def push(self, item: T) -> bool:
+        """Add ``item`` unless it is already pending.  Return True if added."""
+        if item in self._pending:
+            return False
+        self._pending.add(item)
+        self._queue.append(item)
+        self.pushes += 1
+        return True
+
+    def extend(self, items: Iterable[T]) -> int:
+        """Push every item; return how many were actually added."""
+        return sum(1 for item in items if self.push(item))
+
+    def pop(self) -> T:
+        item = self._queue.popleft()
+        self._pending.discard(item)
+        self.pops += 1
+        return item
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._pending

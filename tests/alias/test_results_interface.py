@@ -1,0 +1,62 @@
+"""Tests for alias results, memory locations and the chaining combinator."""
+
+import pytest
+
+from repro.alias import AliasAnalysis, AliasAnalysisChain, AliasResult, MemoryLocation
+from repro.ir import ConstantInt, INT, NullPointer, pointer_to
+
+
+class _Fixed(AliasAnalysis):
+    """Test double returning a fixed verdict."""
+
+    def __init__(self, verdict, name="fixed"):
+        self.verdict = verdict
+        self.name = name
+        self.queries = 0
+
+    def alias(self, loc_a, loc_b):
+        self.queries += 1
+        return self.verdict
+
+
+def _loc():
+    return MemoryLocation(NullPointer(pointer_to(INT)))
+
+
+def test_alias_result_merge_prefers_definitive_answers():
+    assert AliasResult.MAY_ALIAS.merge(AliasResult.NO_ALIAS) is AliasResult.NO_ALIAS
+    assert AliasResult.NO_ALIAS.merge(AliasResult.MAY_ALIAS) is AliasResult.NO_ALIAS
+    assert AliasResult.MUST_ALIAS.merge(AliasResult.NO_ALIAS) is AliasResult.MUST_ALIAS
+    assert AliasResult.MAY_ALIAS.merge(AliasResult.MAY_ALIAS) is AliasResult.MAY_ALIAS
+    assert AliasResult.NO_ALIAS.is_no_alias
+    assert not AliasResult.MAY_ALIAS.is_no_alias
+    assert str(AliasResult.NO_ALIAS) == "NoAlias"
+
+
+def test_memory_location_requires_pointer():
+    with pytest.raises(TypeError):
+        MemoryLocation(ConstantInt(1))
+    loc = MemoryLocation(NullPointer(pointer_to(INT)), size=4)
+    assert loc.size == 4
+
+
+def test_chain_asks_in_order_and_stops_at_first_answer():
+    first = _Fixed(AliasResult.MAY_ALIAS, "first")
+    second = _Fixed(AliasResult.NO_ALIAS, "second")
+    third = _Fixed(AliasResult.MUST_ALIAS, "third")
+    chain = AliasAnalysisChain([first, second, third])
+    assert chain.alias(_loc(), _loc()) is AliasResult.NO_ALIAS
+    assert first.queries == 1
+    assert second.queries == 1
+    assert third.queries == 0
+    assert chain.name == "first + second + third"
+
+
+def test_chain_returns_may_alias_when_nobody_knows():
+    chain = AliasAnalysisChain([_Fixed(AliasResult.MAY_ALIAS), _Fixed(AliasResult.MAY_ALIAS)])
+    assert chain.alias(_loc(), _loc()) is AliasResult.MAY_ALIAS
+
+
+def test_chain_requires_at_least_one_member():
+    with pytest.raises(ValueError):
+        AliasAnalysisChain([])

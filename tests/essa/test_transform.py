@@ -1,0 +1,122 @@
+"""Tests for the e-SSA (live-range splitting) transformation."""
+
+from repro.essa import convert_to_essa
+from repro.ir import Copy, verify_function
+from repro.ir.interpreter import Interpreter
+from repro.ir.ssa_destruction import remove_copies
+from tests.helpers import (
+    build_counting_loop_module,
+    build_diamond_module,
+    build_figure3_module,
+    build_straightline_module,
+    build_two_index_loop_module,
+)
+
+
+def sigma_copies(function):
+    return [i for i in function.instructions() if isinstance(i, Copy) and i.kind == "sigma"]
+
+
+def split_copies(function):
+    return [i for i in function.instructions() if isinstance(i, Copy) and i.kind == "split"]
+
+
+def test_straightline_code_is_untouched_except_verification():
+    module, function = build_straightline_module()
+    before = function.instruction_count()
+    info = convert_to_essa(function)
+    # `d = c - 1` is a subtraction: the live range of `c` is split once.
+    assert len(info.subtraction_copies) == 1
+    assert len(info.sigma_copies) == 0
+    assert function.instruction_count() == before + 1
+    verify_function(function)
+
+
+def test_diamond_gets_sigma_copies_on_both_branches():
+    module, function = build_diamond_module()
+    info = convert_to_essa(function)
+    # Condition a < b involves two variables and two branches: 4 σ-copies.
+    assert len(info.sigma_copies) == 4
+    verify_function(function)
+    then_block = function.block_by_name("then")
+    else_block = function.block_by_name("else")
+    # The uses of a and b in the branch blocks are renamed to the σ-copies.
+    add_then = [i for i in then_block.instructions if i.opcode == "add"][0]
+    assert isinstance(add_then.lhs, Copy)
+    assert add_then.lhs.sigma_on_true_branch is True
+    add_else = [i for i in else_block.instructions if i.opcode == "add"][0]
+    assert isinstance(add_else.lhs, Copy)
+    assert add_else.lhs.sigma_on_true_branch is False
+
+
+def test_sigma_annotations_record_condition_and_side():
+    module, function = build_diamond_module()
+    convert_to_essa(function)
+    for copy in sigma_copies(function):
+        assert copy.sigma_condition.opcode == "icmp"
+        assert copy.sigma_operand_side in ("lhs", "rhs")
+        assert isinstance(copy.sigma_on_true_branch, bool)
+
+
+def test_loop_condition_splits_on_dedicated_blocks():
+    module, function = build_counting_loop_module()
+    info = convert_to_essa(function)
+    # i < n: both are variables, both branches get copies.
+    assert len(info.sigma_copies) == 4
+    verify_function(function)
+
+
+def test_two_index_loop_renames_gep_indices():
+    module, function = build_two_index_loop_module()
+    info = convert_to_essa(function)
+    verify_function(function)
+    body = function.block_by_name("body")
+    geps = [i for i in body.instructions if i.opcode == "gep"]
+    # The body is the true branch of (i < j): the gep indices must now be the
+    # σ-copies of i and j rather than the φ-nodes themselves.
+    assert all(isinstance(g.index, Copy) for g in geps)
+    # The decrement j - 1 splits the live range of (the current name of) j.
+    assert len(info.subtraction_copies) == 1
+
+
+def test_figure3_program_splits_subtraction_and_conditional():
+    module, function = build_figure3_module()
+    info = convert_to_essa(function)
+    verify_function(function)
+    # x4 = x2 - 2 introduces one split copy (x5 in the paper's Figure 6).
+    assert len(info.subtraction_copies) >= 1
+    x4_split = info.subtraction_copies[0]
+    assert x4_split.split_subtraction.opcode == "sub"
+
+
+def test_conversion_is_idempotent():
+    module, function = build_diamond_module()
+    first = convert_to_essa(function)
+    count_after_first = function.instruction_count()
+    second = convert_to_essa(function)
+    assert second.total_copies == 0
+    assert function.instruction_count() == count_after_first
+
+
+def test_transformation_preserves_semantics():
+    module, function = build_two_index_loop_module()
+    reference = Interpreter(module)
+    array = reference.allocate_array([0, 10, 20, 30, 40, 50])
+    reference.run("copy_reverse", [array, 5])
+    expected = reference.read_array(array, 6)
+
+    convert_to_essa(function)
+    verify_function(function)
+    transformed = Interpreter(module)
+    array2 = transformed.allocate_array([0, 10, 20, 30, 40, 50])
+    transformed.run("copy_reverse", [array2, 5])
+    assert transformed.read_array(array2, 6) == expected
+
+
+def test_copies_can_be_removed_to_recover_original_shape():
+    module, function = build_diamond_module()
+    original_result = Interpreter(module).run("f", [2, 7])
+    convert_to_essa(function)
+    removed = remove_copies(function)
+    assert removed > 0
+    assert Interpreter(module).run("f", [2, 7]) == original_result

@@ -1,0 +1,99 @@
+"""Tests for the IR builder, module container and textual printer."""
+
+import pytest
+
+from repro.ir import INT, IRBuilder, Module, pointer_to, print_function, print_module
+from repro.ir.printer import format_instruction
+from tests.helpers import build_counting_loop_module, build_diamond_module, build_two_index_loop_module
+
+
+def test_module_function_management():
+    module = Module("m")
+    f = module.create_function("f", INT, [INT], ["x"])
+    assert module.get_function("f") is f
+    assert module.get_function("missing") is None
+    with pytest.raises(ValueError):
+        module.create_function("f", INT)
+
+
+def test_module_globals():
+    module = Module("m")
+    g = module.add_global(INT, "counter")
+    assert module.get_global("counter") is g
+    assert g.type.is_pointer()
+    with pytest.raises(ValueError):
+        module.add_global(INT, "counter")
+
+
+def test_builder_requires_insert_point():
+    builder = IRBuilder()
+    with pytest.raises(RuntimeError):
+        builder.add(builder.const(1), builder.const(2))
+
+
+def test_builder_creates_all_instruction_kinds():
+    module = Module("m")
+    f = module.create_function("f", INT, [pointer_to(INT), INT], ["p", "n"])
+    entry = f.append_block(name="entry")
+    other = f.append_block(name="other")
+    builder = IRBuilder(entry)
+    p, n = f.arguments
+    total = builder.add(n, builder.const(1))
+    builder.sub(total, n)
+    builder.mul(total, total)
+    builder.div(total, builder.const(2))
+    builder.rem(total, builder.const(3))
+    slot = builder.alloca(INT, "slot")
+    heap = builder.malloc(INT, builder.const(8), "heap")
+    addr = builder.gep(p, n, "addr")
+    builder.store(total, addr)
+    builder.load(addr, "reload")
+    builder.copy(total, "dup")
+    cond = builder.icmp_slt(n, total)
+    builder.branch(cond, other, other)
+    builder.set_insert_point(other)
+    builder.ret(n)
+    assert f.instruction_count() == 14
+    # Every value-producing instruction got a unique name automatically.
+    names = [v.name for v in f.values()]
+    assert len(names) == len(set(names))
+
+
+def test_phi_inserted_at_block_start():
+    module, function = build_counting_loop_module()
+    header = function.block_by_name("header")
+    assert header.instructions[0].opcode == "phi"
+
+
+def test_printer_round_trips_key_syntax():
+    module, function = build_two_index_loop_module()
+    text = print_function(function)
+    assert "define i64 @copy_reverse(i64* %v, i64 %N)" in text
+    assert "phi i64" in text
+    assert "icmp slt" in text
+    assert "gep" in text
+    assert "store" in text
+    assert "br i1" in text
+    assert text.count("ret") == 1
+
+
+def test_print_module_includes_globals_and_functions():
+    module, _ = build_diamond_module()
+    module.add_global(INT, "g")
+    text = print_module(module)
+    assert "@g = global i64" in text
+    assert "define i64 @f" in text
+
+
+def test_format_instruction_for_calls():
+    module = Module("m")
+    callee = module.create_function("callee", INT, [INT], ["x"])
+    centry = callee.append_block(name="entry")
+    IRBuilder(centry).ret(callee.arguments[0])
+    caller = module.create_function("caller", INT, [INT], ["y"])
+    entry = caller.append_block(name="entry")
+    builder = IRBuilder(entry)
+    call = builder.call(callee, [caller.arguments[0]], "res")
+    builder.ret(call)
+    text = format_instruction(call)
+    assert "call i64 @callee(i64 %y)" in text

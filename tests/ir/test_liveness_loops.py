@@ -1,0 +1,114 @@
+"""Tests for liveness analysis and natural-loop detection."""
+
+from repro.ir.liveness import LivenessInfo
+from repro.ir.loops import LoopInfo
+from tests.helpers import (
+    build_counting_loop_module,
+    build_diamond_module,
+    build_straightline_module,
+    build_two_index_loop_module,
+)
+
+
+def test_straightline_liveness():
+    module, function = build_straightline_module()
+    info = LivenessInfo(function)
+    entry = function.entry_block
+    a, b = function.arguments
+    # Arguments are used in the block, so they are live at its first instruction.
+    first = entry.instructions[0]
+    live = info.live_at(first)
+    assert a in live and b in live
+    # Nothing is live out of the only block.
+    assert info.live_out[entry] == set()
+
+
+def test_diamond_liveness_join_phi_operands():
+    module, function = build_diamond_module()
+    info = LivenessInfo(function)
+    then_block = function.block_by_name("then")
+    else_block = function.block_by_name("else")
+    t = then_block.instructions[0]
+    e = else_block.instructions[0]
+    # The φ-operands are live out of their defining branch blocks only.
+    assert t in info.live_out[then_block]
+    assert e in info.live_out[else_block]
+    assert t not in info.live_out[else_block]
+
+
+def test_loop_phi_is_live_around_the_loop():
+    module, function = build_counting_loop_module()
+    info = LivenessInfo(function)
+    header = function.block_by_name("header")
+    body = function.block_by_name("body")
+    i_phi = header.instructions[0]
+    i_next = body.instructions[0]
+    assert i_phi in info.live_in[body]
+    assert i_next in info.live_out[body]
+    n = function.arguments[0]
+    assert n in info.live_in[header]
+
+
+def test_simultaneously_live_in_two_index_loop():
+    module, function = build_two_index_loop_module()
+    info = LivenessInfo(function)
+    header = function.block_by_name("header")
+    i_phi, j_phi = header.phis()
+    # i and j are both live inside the loop body.
+    assert info.simultaneously_live(i_phi, j_phi)
+    body = function.block_by_name("body")
+    p_i = body.instructions[0]
+    p_j = body.instructions[1]
+    assert info.simultaneously_live(p_i, p_j)
+
+
+def test_constants_never_interfere():
+    module, function = build_straightline_module()
+    info = LivenessInfo(function)
+    from repro.ir import ConstantInt
+
+    c = ConstantInt(1)
+    add = function.entry_block.instructions[0]
+    assert not info.simultaneously_live(c, add)
+
+
+def test_live_at_excludes_values_defined_later():
+    module, function = build_straightline_module()
+    info = LivenessInfo(function)
+    add = function.entry_block.instructions[0]
+    sub = function.entry_block.instructions[1]
+    assert sub not in info.live_at(add)
+    assert add in info.live_at(sub)
+
+
+def test_no_loops_in_diamond():
+    module, function = build_diamond_module()
+    info = LoopInfo(function)
+    assert len(info) == 0
+    assert info.loop_depth(function.block_by_name("join")) == 0
+
+
+def test_counting_loop_detected():
+    module, function = build_counting_loop_module()
+    info = LoopInfo(function)
+    assert len(info) == 1
+    loop = info.loops[0]
+    header = function.block_by_name("header")
+    body = function.block_by_name("body")
+    exit_block = function.block_by_name("exit")
+    assert loop.header is header
+    assert body in loop.blocks
+    assert exit_block not in loop.blocks
+    assert info.loop_depth(body) == 1
+    assert loop.latches(info.cfg) == [body]
+    assert exit_block in loop.exit_blocks(info.cfg)
+
+
+def test_two_index_loop_detected_with_memory_ops():
+    module, function = build_two_index_loop_module()
+    info = LoopInfo(function)
+    assert len(info) == 1
+    loop = info.loops[0]
+    assert loop.header.name == "header"
+    assert info.innermost_loop_containing(function.block_by_name("body")) is loop
+    assert loop.depth() == 1

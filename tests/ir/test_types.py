@@ -1,0 +1,70 @@
+"""Unit tests for the IR type system."""
+
+import pytest
+
+from repro.ir import ArrayType, BOOL, FunctionType, INT, IntType, PointerType, VOID, pointer_to
+
+
+def test_int_type_structural_equality():
+    assert IntType(64) == IntType(64)
+    assert IntType(32) != IntType(64)
+    assert hash(IntType(64)) == hash(IntType(64))
+    assert str(IntType(32)) == "i32"
+
+
+def test_int_type_rejects_nonpositive_width():
+    with pytest.raises(ValueError):
+        IntType(0)
+
+
+def test_pointer_type_equality_and_str():
+    p1 = PointerType(INT)
+    p2 = PointerType(IntType(64))
+    assert p1 == p2
+    assert str(p1) == "i64*"
+    assert p1.is_pointer()
+    assert not p1.is_int()
+
+
+def test_pointer_to_void_rejected():
+    with pytest.raises(ValueError):
+        PointerType(VOID)
+
+
+def test_pointer_nesting_depth():
+    assert pointer_to(INT, 3).nesting_depth() == 3
+    assert pointer_to(INT).nesting_depth() == 1
+    with pytest.raises(ValueError):
+        pointer_to(INT, 0)
+
+
+def test_array_type():
+    arr = ArrayType(INT, 10)
+    assert str(arr) == "[10 x i64]"
+    assert arr == ArrayType(IntType(64), 10)
+    assert arr != ArrayType(INT, 11)
+    with pytest.raises(ValueError):
+        ArrayType(INT, -1)
+    with pytest.raises(ValueError):
+        ArrayType(VOID, 3)
+
+
+def test_function_type():
+    ft = FunctionType(INT, (INT, PointerType(INT)))
+    assert str(ft) == "i64 (i64, i64*)"
+    assert ft == FunctionType(INT, (INT, PointerType(INT)))
+    assert ft != FunctionType(VOID, (INT,))
+
+
+def test_scalar_classification():
+    assert INT.is_scalar()
+    assert BOOL.is_scalar()
+    assert PointerType(INT).is_scalar()
+    assert not VOID.is_scalar()
+    assert not ArrayType(INT, 4).is_scalar()
+
+
+def test_types_usable_as_dict_keys():
+    table = {PointerType(INT): "p", INT: "i", BOOL: "b"}
+    assert table[PointerType(IntType(64))] == "p"
+    assert table[IntType(64)] == "i"

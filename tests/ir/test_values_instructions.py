@@ -1,0 +1,153 @@
+"""Unit tests for values, use lists and instruction classes."""
+
+import pytest
+
+from repro.ir import (
+    BinaryOp,
+    ConstantInt,
+    GetElementPtr,
+    ICmp,
+    INT,
+    IRBuilder,
+    Load,
+    Module,
+    NullPointer,
+    Phi,
+    Store,
+    Undef,
+    pointer_to,
+)
+from tests.helpers import build_diamond_module, build_straightline_module
+
+
+def test_constant_int_holds_value():
+    c = ConstantInt(42)
+    assert c.value == 42
+    assert c.is_constant()
+    assert c.is_integer()
+
+
+def test_use_lists_track_operands():
+    module, function = build_straightline_module()
+    a, b = function.arguments
+    add = function.entry_block.instructions[0]
+    assert isinstance(add, BinaryOp)
+    assert add.lhs is a
+    assert add.rhs is b
+    assert add in list(a.users())
+    assert add in list(b.users())
+
+
+def test_replace_all_uses_with_rewrites_operands():
+    module, function = build_straightline_module()
+    a, b = function.arguments
+    add = function.entry_block.instructions[0]
+    a.replace_all_uses_with(b)
+    assert add.lhs is b
+    assert add.rhs is b
+    assert not list(a.users())
+
+
+def test_set_operand_updates_use_lists():
+    module, function = build_straightline_module()
+    a, b = function.arguments
+    add = function.entry_block.instructions[0]
+    c = ConstantInt(7)
+    add.set_operand(0, c)
+    assert add.lhs is c
+    assert all(use.user is not add or use.index != 0 for use in a.uses)
+
+
+def test_erase_from_parent_drops_uses():
+    module, function = build_straightline_module()
+    add = function.entry_block.instructions[0]
+    sub = function.entry_block.instructions[1]
+    ret = function.entry_block.instructions[2]
+    ret.erase_from_parent()
+    sub.erase_from_parent()
+    add.erase_from_parent()
+    a, b = function.arguments
+    assert not a.uses
+    assert not b.uses
+    assert len(function.entry_block) == 0
+
+
+def test_binary_op_validation():
+    a, b = ConstantInt(1), ConstantInt(2)
+    with pytest.raises(ValueError):
+        BinaryOp("xor", a, b)
+    op = BinaryOp("add", a, b)
+    assert op.opcode == "add"
+
+
+def test_binary_op_constant_operand():
+    module, function = build_straightline_module()
+    a, _ = function.arguments
+    mixed = BinaryOp("add", a, ConstantInt(3))
+    assert mixed.constant_operand().value == 3
+    both = BinaryOp("add", ConstantInt(1), ConstantInt(2))
+    assert both.constant_operand() is None
+    neither = BinaryOp("add", a, a)
+    assert neither.constant_operand() is None
+
+
+def test_icmp_predicates():
+    a, b = ConstantInt(1), ConstantInt(2)
+    cmp_lt = ICmp("slt", a, b)
+    assert cmp_lt.type.is_bool()
+    with pytest.raises(ValueError):
+        ICmp("ugt", a, b)
+    assert ICmp.SWAPPED["slt"] == "sgt"
+    assert ICmp.NEGATED["slt"] == "sge"
+    assert ICmp.NEGATED["eq"] == "ne"
+
+
+def test_load_store_require_pointers():
+    with pytest.raises(TypeError):
+        Load(ConstantInt(1))
+    with pytest.raises(TypeError):
+        Store(ConstantInt(1), ConstantInt(2))
+    null = NullPointer(pointer_to(INT))
+    load = Load(null)
+    assert load.type == INT
+
+
+def test_gep_requires_pointer_base_and_reports_constant_index():
+    null = NullPointer(pointer_to(INT))
+    gep = GetElementPtr(null, ConstantInt(4))
+    assert gep.constant_index() == 4
+    with pytest.raises(TypeError):
+        GetElementPtr(ConstantInt(1), ConstantInt(2))
+
+
+def test_phi_incoming_management():
+    module, function = build_diamond_module()
+    join = function.block_by_name("join")
+    phi = join.phis()[0]
+    assert len(phi.incoming()) == 2
+    then_block = function.block_by_name("then")
+    value = phi.incoming_value_for(then_block)
+    assert value is not None
+    phi.remove_incoming(then_block)
+    assert len(phi.incoming()) == 1
+    assert phi.incoming_value_for(then_block) is None
+
+
+def test_terminator_classification():
+    module, function = build_diamond_module()
+    entry = function.block_by_name("entry")
+    assert entry.terminator is not None
+    assert entry.terminator.is_terminator()
+    add = function.block_by_name("then").instructions[0]
+    assert not add.is_terminator()
+
+
+def test_undef_and_null_are_constants():
+    assert Undef(INT).is_constant()
+    assert NullPointer(pointer_to(INT)).is_constant()
+
+
+def test_instruction_names_are_unique_per_function():
+    module, function = build_diamond_module()
+    names = [v.name for v in function.values()]
+    assert len(names) == len(set(names))

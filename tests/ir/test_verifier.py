@@ -1,0 +1,127 @@
+"""Tests for the IR verifier."""
+
+import pytest
+
+from repro.ir import (
+    BasicBlock,
+    ConstantInt,
+    INT,
+    IRBuilder,
+    Module,
+    Phi,
+    Return,
+    VerificationError,
+    verify_function,
+    verify_module,
+)
+from tests.helpers import (
+    build_counting_loop_module,
+    build_diamond_module,
+    build_straightline_module,
+    build_two_index_loop_module,
+)
+
+
+def test_wellformed_functions_verify():
+    for builder in (
+        build_straightline_module,
+        build_diamond_module,
+        build_counting_loop_module,
+        build_two_index_loop_module,
+    ):
+        module, function = builder()
+        verify_function(function)
+        verify_module(module)
+
+
+def test_missing_terminator_is_rejected():
+    module = Module("m")
+    f = module.create_function("f", INT, [INT], ["x"])
+    block = f.append_block(name="entry")
+    IRBuilder(block).add(f.arguments[0], ConstantInt(1))
+    with pytest.raises(VerificationError, match="terminator"):
+        verify_function(f)
+
+
+def test_empty_block_is_rejected():
+    module, function = build_straightline_module()
+    function.append_block(name="empty")
+    with pytest.raises(VerificationError, match="empty|terminator"):
+        verify_function(function)
+
+
+def test_terminator_in_middle_is_rejected():
+    module, function = build_straightline_module()
+    entry = function.entry_block
+    entry.insert(0, Return(ConstantInt(0)))
+    with pytest.raises(VerificationError, match="middle"):
+        verify_function(function)
+
+
+def test_use_before_def_is_rejected():
+    module = Module("m")
+    f = module.create_function("f", INT, [INT], ["x"])
+    entry = f.append_block(name="entry")
+    builder = IRBuilder(entry)
+    a = builder.add(f.arguments[0], ConstantInt(1), "a")
+    b = builder.add(f.arguments[0], ConstantInt(2), "b")
+    builder.ret(b)
+    # Swap a and b so that a uses b before its definition.
+    a.set_operand(1, b)
+    with pytest.raises(VerificationError, match="dominate"):
+        verify_function(f)
+
+
+def test_phi_must_cover_predecessors():
+    module, function = build_diamond_module()
+    join = function.block_by_name("join")
+    phi = join.phis()[0]
+    phi.remove_incoming(function.block_by_name("then"))
+    with pytest.raises(VerificationError, match="predecessors"):
+        verify_function(function)
+
+
+def test_phi_after_non_phi_is_rejected():
+    module, function = build_counting_loop_module()
+    header = function.block_by_name("header")
+    entry = function.block_by_name("entry")
+    body = function.block_by_name("body")
+    stray = Phi(INT)
+    # Insert the stray phi after the comparison but before the branch.
+    header.insert(2, stray)
+    stray.add_incoming(ConstantInt(0), entry)
+    stray.add_incoming(ConstantInt(1), body)
+    with pytest.raises(VerificationError, match="after a non-phi"):
+        verify_function(function)
+
+
+def test_cross_function_operand_is_rejected():
+    module = Module("m")
+    f = module.create_function("f", INT, [INT], ["x"])
+    g = module.create_function("g", INT, [INT], ["y"])
+    f_entry = f.append_block(name="entry")
+    IRBuilder(f_entry).ret(f.arguments[0])
+    g_entry = g.append_block(name="entry")
+    gb = IRBuilder(g_entry)
+    # Use f's argument inside g.
+    bad = gb.add(f.arguments[0], ConstantInt(1))
+    gb.ret(bad)
+    with pytest.raises(VerificationError, match="another function"):
+        verify_module(module)
+
+
+def test_entry_block_with_predecessors_is_rejected():
+    module, function = build_counting_loop_module()
+    # Redirect the body's jump back to the entry block instead of the header.
+    body = function.block_by_name("body")
+    entry = function.block_by_name("entry")
+    header = function.block_by_name("header")
+    body.terminator.replace_successor(header, entry)
+    with pytest.raises(VerificationError):
+        verify_function(function)
+
+
+def test_declarations_are_trivially_valid():
+    module = Module("m")
+    module.create_function("external", INT, [INT])
+    verify_module(module)

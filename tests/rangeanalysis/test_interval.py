@@ -1,0 +1,143 @@
+"""Unit and property tests for the interval domain."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rangeanalysis import Interval, NEG_INF, POS_INF
+
+
+def test_constructors_and_predicates():
+    assert Interval.top().is_top()
+    assert Interval.bottom().is_bottom()
+    assert Interval.constant(3).is_constant()
+    assert Interval.constant(3).contains(3)
+    assert not Interval.constant(3).contains(4)
+    assert Interval.at_least(1).is_strictly_positive()
+    assert Interval.at_most(-1).is_strictly_negative()
+    assert Interval(0, 5).is_non_negative()
+    assert Interval(-5, 0).is_non_positive()
+    assert not Interval(0, 5).is_strictly_positive()
+
+
+def test_invalid_interval_rejected():
+    with pytest.raises(ValueError):
+        Interval(3, 2)
+
+
+def test_join_and_meet():
+    a = Interval(0, 10)
+    b = Interval(5, 20)
+    assert a.join(b) == Interval(0, 20)
+    assert a.meet(b) == Interval(5, 10)
+    assert a.meet(Interval(50, 60)).is_bottom()
+    assert a.join(Interval.bottom()) == a
+    assert a.meet(Interval.bottom()).is_bottom()
+
+
+def test_widening_jumps_to_infinity():
+    a = Interval(0, 10)
+    grown = Interval(0, 20)
+    widened = a.widen(grown)
+    assert widened.lower == 0
+    assert widened.upper == POS_INF
+    shrunk_low = Interval(-5, 10)
+    widened_low = a.widen(shrunk_low)
+    assert widened_low.lower == NEG_INF
+    assert widened_low.upper == 10
+
+
+def test_narrowing_refines_infinite_bounds_only():
+    wide = Interval(0, POS_INF)
+    better = Interval(0, 99)
+    assert wide.narrow(better) == Interval(0, 99)
+    precise = Interval(0, 5)
+    assert precise.narrow(Interval(1, 3)) == precise
+
+
+def test_arithmetic():
+    a = Interval(1, 3)
+    b = Interval(10, 20)
+    assert a.add(b) == Interval(11, 23)
+    assert b.sub(a) == Interval(7, 19)
+    assert a.neg() == Interval(-3, -1)
+    assert a.mul(b) == Interval(10, 60)
+    assert Interval(-2, 3).mul(Interval(4, 5)) == Interval(-10, 15)
+    assert Interval(10, 20).div(Interval.constant(2)) == Interval(5, 10)
+    assert Interval(0, 100).rem(Interval.constant(10)) == Interval(-9, 9)
+
+
+def test_arithmetic_with_infinities():
+    top = Interval.top()
+    assert top.add(Interval.constant(1)).is_top()
+    assert Interval.at_least(0).add(Interval.constant(1)) == Interval.at_least(1)
+    assert Interval.at_least(0).neg() == Interval.at_most(0)
+    assert Interval.at_least(1).mul(Interval.constant(2)) == Interval.at_least(2)
+
+
+def test_division_by_unknown_is_top():
+    assert Interval(0, 10).div(Interval(1, 2)).is_top()
+    assert Interval(0, 10).rem(Interval(1, 2)).is_top()
+
+
+def test_refinements():
+    x = Interval(0, 100)
+    n = Interval.constant(10)
+    assert x.refine_less_than(n) == Interval(0, 9)
+    assert x.refine_less_equal(n) == Interval(0, 10)
+    assert x.refine_greater_than(n) == Interval(11, 100)
+    assert x.refine_greater_equal(n) == Interval(10, 100)
+    assert x.refine_equal(n) == Interval(10, 10)
+    assert x.refine_less_than(Interval.at_most(-200)).is_bottom()
+
+
+def test_includes_and_intersects():
+    assert Interval(0, 10).includes(Interval(2, 5))
+    assert not Interval(0, 10).includes(Interval(2, 50))
+    assert Interval(0, 10).includes(Interval.bottom())
+    assert Interval(0, 10).intersects(Interval(10, 20))
+    assert not Interval(0, 9).intersects(Interval(10, 20))
+
+
+small_ints = st.integers(-50, 50)
+
+
+@st.composite
+def intervals(draw):
+    a = draw(small_ints)
+    b = draw(small_ints)
+    return Interval(min(a, b), max(a, b))
+
+
+@given(intervals(), intervals(), small_ints, small_ints)
+def test_add_is_sound(ia, ib, x, y):
+    """If x ∈ ia and y ∈ ib then x + y ∈ ia.add(ib) — soundness of abstract add."""
+    if ia.contains(x) and ib.contains(y):
+        assert ia.add(ib).contains(x + y)
+
+
+@given(intervals(), intervals(), small_ints, small_ints)
+def test_mul_and_sub_are_sound(ia, ib, x, y):
+    if ia.contains(x) and ib.contains(y):
+        assert ia.mul(ib).contains(x * y)
+        assert ia.sub(ib).contains(x - y)
+
+
+@given(intervals(), intervals(), small_ints)
+def test_join_over_approximates_both(ia, ib, x):
+    joined = ia.join(ib)
+    if ia.contains(x) or ib.contains(x):
+        assert joined.contains(x)
+
+
+@given(intervals(), intervals(), small_ints)
+def test_meet_is_exact_intersection(ia, ib, x):
+    met = ia.meet(ib)
+    assert met.contains(x) == (ia.contains(x) and ib.contains(x))
+
+
+@given(intervals(), intervals())
+def test_widening_over_approximates_join(ia, ib):
+    widened = ia.widen(ib)
+    assert widened.includes(ia)
+    assert widened.includes(ib)

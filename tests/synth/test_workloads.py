@@ -1,0 +1,73 @@
+"""Tests for the benchmark-program composition and the SPEC-like profiles."""
+
+import pytest
+
+from repro.ir import verify_module
+from repro.synth import SPEC_PROFILES, build_spec_module, spec_benchmarks, build_testsuite_programs
+from repro.synth.spec_profiles import ALLOC_KERNEL_POOL, POINTER_KERNEL_POOL, SpecProfile
+from repro.synth.workloads import compose_program
+
+
+def test_compose_program_renames_duplicate_kernels():
+    program = compose_program("dup", ["ins_sort", "ins_sort", "vector_add"])
+    names = {f.name for f in program.module.functions}
+    assert "ins_sort_k0" in names and "ins_sort_k1" in names
+    assert "vector_add_k2" in names
+    assert "main" in names
+    verify_module(program.module)
+
+
+def test_compose_program_with_random_functions():
+    program = compose_program("mixed", ["memcopy"], [(42, 15, 3)])
+    names = {f.name for f in program.module.functions}
+    assert any(name.startswith("work_r") for name in names)
+    assert program.instruction_count > 0
+    assert "memcopy" in program.source
+
+
+def test_spec_profiles_cover_the_sixteen_benchmarks():
+    assert len(SPEC_PROFILES) == 16
+    assert "lbm" in SPEC_PROFILES and "gcc" in SPEC_PROFILES
+    for profile in SPEC_PROFILES.values():
+        assert profile.scale > 0
+    # The pools do not overlap.
+    assert not set(POINTER_KERNEL_POOL) & set(ALLOC_KERNEL_POOL)
+
+
+def test_build_spec_module_compiles_and_is_deterministic():
+    first = build_spec_module(SPEC_PROFILES["lbm"])
+    second = build_spec_module(SPEC_PROFILES["lbm"])
+    assert first.source == second.source
+    verify_module(first.module)
+    assert first.name == "spec_lbm"
+
+
+def test_spec_benchmarks_subset_selection():
+    programs = spec_benchmarks(["lbm", "sjeng"])
+    assert [p.name for p in programs] == ["spec_lbm", "spec_sjeng"]
+    with pytest.raises(KeyError):
+        spec_benchmarks(["not_a_benchmark"])
+
+
+def test_pointer_heavy_profiles_contain_more_pointer_kernels():
+    lbm = SPEC_PROFILES["lbm"]
+    sjeng = SPEC_PROFILES["sjeng"]
+    assert lbm.pointer_kernels > lbm.alloc_kernels
+    assert sjeng.alloc_kernels > sjeng.pointer_kernels
+
+
+def test_build_testsuite_programs_sizes_grow():
+    programs = build_testsuite_programs(count=12)
+    assert len(programs) == 12
+    sizes = [p.instruction_count for p in programs]
+    # Not strictly monotonic (kernels differ) but the last quarter must be
+    # larger than the first quarter on average.
+    assert sum(sizes[-3:]) > sum(sizes[:3])
+    for program in programs[:3]:
+        verify_module(program.module)
+
+
+def test_build_testsuite_programs_are_reproducible():
+    first = build_testsuite_programs(count=3)
+    second = build_testsuite_programs(count=3)
+    assert [p.source for p in first] == [p.source for p in second]

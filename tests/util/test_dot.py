@@ -1,0 +1,45 @@
+"""Unit tests for the DOT graph emitter."""
+
+from repro.util.dot import DotGraph
+
+
+def test_empty_graph_renders():
+    text = DotGraph("Empty").to_dot()
+    assert text.startswith("digraph Empty {")
+    assert text.rstrip().endswith("}")
+
+
+def test_nodes_and_edges_appear():
+    g = DotGraph()
+    g.add_node("a", label="Block A", shape="box")
+    g.add_edge("a", "b", label="true")
+    text = g.to_dot()
+    assert '"a"' in text
+    assert '"b"' in text
+    assert 'label="Block A"' in text
+    assert 'shape="box"' in text
+    assert '"a" -> "b"' in text
+    assert g.node_count == 2
+    assert g.edge_count == 1
+
+
+def test_undirected_graph_uses_dashes():
+    g = DotGraph(directed=False)
+    g.add_edge("x", "y")
+    assert '"x" -- "y"' in g.to_dot()
+
+
+def test_labels_are_escaped():
+    g = DotGraph()
+    g.add_node("n", label='say "hi"\nthere')
+    text = g.to_dot()
+    assert '\\"hi\\"' in text
+    assert "\\n" in text
+
+
+def test_write_to_file(tmp_path):
+    g = DotGraph()
+    g.add_edge("a", "b")
+    path = tmp_path / "graph.dot"
+    g.write(str(path))
+    assert path.read_text().startswith("digraph")

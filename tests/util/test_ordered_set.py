@@ -1,0 +1,118 @@
+"""Unit tests for :class:`repro.util.OrderedSet`."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import OrderedSet
+
+
+def test_preserves_insertion_order():
+    s = OrderedSet([3, 1, 2, 1])
+    assert list(s) == [3, 1, 2]
+
+
+def test_membership_and_len():
+    s = OrderedSet("abc")
+    assert "a" in s
+    assert "z" not in s
+    assert len(s) == 3
+    assert bool(s)
+    assert not bool(OrderedSet())
+
+
+def test_add_and_discard():
+    s = OrderedSet()
+    s.add(1)
+    s.add(1)
+    s.add(2)
+    assert list(s) == [1, 2]
+    s.discard(1)
+    s.discard(42)  # no error
+    assert list(s) == [2]
+
+
+def test_remove_missing_raises():
+    s = OrderedSet([1])
+    with pytest.raises(KeyError):
+        s.remove(2)
+
+
+def test_pop_returns_oldest():
+    s = OrderedSet([5, 6, 7])
+    assert s.pop() == 5
+    assert list(s) == [6, 7]
+
+
+def test_union_intersection_difference():
+    a = OrderedSet([1, 2, 3])
+    b = OrderedSet([2, 3, 4])
+    assert list(a.union(b)) == [1, 2, 3, 4]
+    assert list(a.intersection(b)) == [2, 3]
+    assert list(a.difference(b)) == [1]
+    # Non-mutating: originals unchanged.
+    assert list(a) == [1, 2, 3]
+    assert list(b) == [2, 3, 4]
+
+
+def test_operator_sugar():
+    a = OrderedSet([1, 2])
+    b = OrderedSet([2, 3])
+    assert (a | b) == {1, 2, 3}
+    assert (a & b) == {2}
+    assert (a - b) == {1}
+
+
+def test_update_variants():
+    s = OrderedSet([1, 2, 3, 4])
+    s.intersection_update([2, 3, 9])
+    assert list(s) == [2, 3]
+    s.update([5, 2])
+    assert list(s) == [2, 3, 5]
+    s.difference_update([3])
+    assert list(s) == [2, 5]
+
+
+def test_subset_superset_disjoint():
+    a = OrderedSet([1, 2])
+    assert a.issubset([1, 2, 3])
+    assert not a.issubset([1])
+    assert a.issuperset([1])
+    assert a.isdisjoint([7, 8])
+    assert not a.isdisjoint([2])
+
+
+def test_equality_with_set_and_ordered_set():
+    assert OrderedSet([1, 2]) == {2, 1}
+    assert OrderedSet([1, 2]) == OrderedSet([2, 1])
+    assert OrderedSet([1]) != OrderedSet([2])
+
+
+def test_copy_is_independent():
+    a = OrderedSet([1])
+    b = a.copy()
+    b.add(2)
+    assert 2 not in a
+
+
+def test_unhashable():
+    with pytest.raises(TypeError):
+        hash(OrderedSet())
+
+
+@given(st.lists(st.integers()), st.lists(st.integers()))
+def test_matches_builtin_set_semantics(xs, ys):
+    """OrderedSet union/intersection/difference agree with built-in set."""
+    a, b = OrderedSet(xs), OrderedSet(ys)
+    assert set(a.union(b)) == set(xs) | set(ys)
+    assert set(a.intersection(b)) == set(xs) & set(ys)
+    assert set(a.difference(b)) == set(xs) - set(ys)
+
+
+@given(st.lists(st.integers(), min_size=1))
+def test_iteration_order_is_first_occurrence_order(xs):
+    seen = []
+    for x in xs:
+        if x not in seen:
+            seen.append(x)
+    assert list(OrderedSet(xs)) == seen

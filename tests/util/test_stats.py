@@ -1,0 +1,84 @@
+"""Unit tests for the statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import coefficient_of_determination, linear_regression, mean, median, summarize
+
+
+def test_mean_and_median_basic():
+    assert mean([1, 2, 3]) == 2
+    assert median([1, 2, 3]) == 2
+    assert median([1, 2, 3, 4]) == 2.5
+
+
+def test_mean_empty_raises():
+    with pytest.raises(ValueError):
+        mean([])
+    with pytest.raises(ValueError):
+        median([])
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_linear_regression_exact_line():
+    xs = [0, 1, 2, 3]
+    ys = [5, 7, 9, 11]
+    slope, intercept = linear_regression(xs, ys)
+    assert slope == pytest.approx(2.0)
+    assert intercept == pytest.approx(5.0)
+
+
+def test_linear_regression_requires_two_points():
+    with pytest.raises(ValueError):
+        linear_regression([1], [1])
+    with pytest.raises(ValueError):
+        linear_regression([1, 1], [1, 2])
+    with pytest.raises(ValueError):
+        linear_regression([1, 2], [1])
+
+
+def test_r_squared_perfect_fit_is_one():
+    xs = list(range(10))
+    ys = [3 * x + 1 for x in xs]
+    assert coefficient_of_determination(xs, ys) == pytest.approx(1.0)
+
+
+def test_r_squared_constant_y():
+    assert coefficient_of_determination([1, 2, 3], [5, 5, 5]) == pytest.approx(1.0)
+
+
+def test_r_squared_noisy_fit_below_one():
+    xs = [0, 1, 2, 3, 4]
+    ys = [0, 5, 1, 6, 2]
+    r2 = coefficient_of_determination(xs, ys)
+    assert 0.0 <= r2 < 1.0
+
+
+def test_summarize_fields():
+    summary = summarize([4, 1, 3, 2])
+    assert summary["min"] == 1
+    assert summary["max"] == 4
+    assert summary["mean"] == 2.5
+    assert summary["median"] == 2.5
+
+
+@given(
+    st.lists(st.integers(-1000, 1000), min_size=2, max_size=50).filter(
+        lambda xs: len(set(xs)) > 1
+    ),
+    st.integers(-10, 10),
+    st.integers(-100, 100),
+)
+def test_r_squared_of_exact_linear_data_is_one(xs, slope, intercept):
+    ys = [slope * x + intercept for x in xs]
+    assert coefficient_of_determination(xs, ys) == pytest.approx(1.0, abs=1e-9)
+
+
+@given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=100))
+def test_median_is_between_min_and_max(values):
+    m = median(values)
+    assert min(values) <= m <= max(values)

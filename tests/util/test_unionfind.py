@@ -1,0 +1,78 @@
+"""Unit tests for :class:`repro.util.UnionFind`."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import UnionFind
+
+
+def test_singletons_are_their_own_representatives():
+    uf = UnionFind()
+    uf.make_set("a")
+    assert uf.find("a") == "a"
+    assert "a" in uf
+    assert "b" not in uf
+
+
+def test_find_registers_unknown_items():
+    uf = UnionFind()
+    assert uf.find(42) == 42
+    assert 42 in uf
+
+
+def test_union_and_connected():
+    uf = UnionFind()
+    uf.union(1, 2)
+    uf.union(3, 4)
+    assert uf.connected(1, 2)
+    assert uf.connected(3, 4)
+    assert not uf.connected(1, 3)
+    uf.union(2, 3)
+    assert uf.connected(1, 4)
+
+
+def test_union_is_idempotent():
+    uf = UnionFind()
+    root1 = uf.union("x", "y")
+    root2 = uf.union("x", "y")
+    assert root1 == root2
+
+
+def test_groups_partition_all_members():
+    uf = UnionFind()
+    uf.union(1, 2)
+    uf.union(3, 4)
+    uf.make_set(5)
+    groups = uf.groups()
+    flattened = sorted(x for group in groups for x in group)
+    assert flattened == [1, 2, 3, 4, 5]
+    assert len(groups) == 3
+    assert len(uf) == 5
+
+
+@given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20))))
+def test_connectivity_matches_graph_reachability(edges):
+    """Union-find connectivity equals undirected reachability over the edges."""
+    uf = UnionFind()
+    adjacency = {}
+    for a, b in edges:
+        uf.union(a, b)
+        adjacency.setdefault(a, set()).add(b)
+        adjacency.setdefault(b, set()).add(a)
+
+    def reachable(start, goal):
+        seen, stack = {start}, [start]
+        while stack:
+            node = stack.pop()
+            if node == goal:
+                return True
+            for nxt in adjacency.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False
+
+    nodes = list(adjacency)
+    for a in nodes[:5]:
+        for b in nodes[:5]:
+            assert uf.connected(a, b) == reachable(a, b)

@@ -1,0 +1,46 @@
+"""Unit tests for :class:`repro.util.Worklist`."""
+
+from repro.util import Worklist
+
+
+def test_fifo_order():
+    wl = Worklist([1, 2, 3])
+    assert wl.pop() == 1
+    assert wl.pop() == 2
+    assert wl.pop() == 3
+    assert not wl
+
+
+def test_duplicate_suppression():
+    wl = Worklist()
+    assert wl.push("a") is True
+    assert wl.push("a") is False
+    assert len(wl) == 1
+    wl.pop()
+    # After popping, the same item may be queued again.
+    assert wl.push("a") is True
+
+
+def test_extend_counts_new_items():
+    wl = Worklist([1])
+    added = wl.extend([1, 2, 3])
+    assert added == 2
+    assert len(wl) == 3
+
+
+def test_contains_tracks_pending_only():
+    wl = Worklist([1])
+    assert 1 in wl
+    wl.pop()
+    assert 1 not in wl
+
+
+def test_pop_and_push_counters():
+    wl = Worklist()
+    wl.push(1)
+    wl.push(2)
+    wl.pop()
+    wl.pop()
+    wl.push(1)
+    assert wl.pushes == 3
+    assert wl.pops == 2
