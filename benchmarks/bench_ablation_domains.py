@@ -25,6 +25,7 @@ from repro.core import (
     RangeBasedAliasAnalysis,
     StrictInequalityAliasAnalysis,
 )
+from repro.passes import FunctionAnalysisCache
 from repro.synth import kernel_module
 from repro.synth.spec_profiles import POINTER_KERNEL_POOL
 
@@ -33,7 +34,8 @@ FIGURE1_KERNELS = ("ins_sort", "partition", "copy_reverse")
 
 def _evaluate_kernel(name):
     module = kernel_module(name)
-    lt = StrictInequalityAliasAnalysis(module)       # also converts to e-SSA
+    cache = FunctionAnalysisCache()
+    lt = StrictInequalityAliasAnalysis(module, cache=cache)  # also converts to e-SSA
     analyses = {
         "RANGE": RangeBasedAliasAnalysis(),
         "ABCD": ABCDAliasAnalysis(),

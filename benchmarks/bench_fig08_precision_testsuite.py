@@ -16,6 +16,7 @@ from harness import full_scale, print_table, write_results
 
 from repro.alias import AliasAnalysisChain, BasicAliasAnalysis, evaluate_module
 from repro.core import StrictInequalityAliasAnalysis
+from repro.passes import FunctionAnalysisCache
 from repro.synth import build_testsuite_programs
 
 PROGRAM_COUNT = 100 if full_scale() else 24
@@ -23,8 +24,12 @@ PROGRAM_COUNT = 100 if full_scale() else 24
 
 def _evaluate_program(program):
     module = program.module
+    # One analysis cache per program: the LT sub-analyses (ranges, e-SSA,
+    # constraint solve, disambiguation tables) are shared between the LT-only
+    # and the BA + LT evaluation instead of being recomputed.
+    cache = FunctionAnalysisCache()
     ba = BasicAliasAnalysis()
-    lt = StrictInequalityAliasAnalysis(module)
+    lt = StrictInequalityAliasAnalysis(module, cache=cache)
     chain = AliasAnalysisChain([ba, lt], name="ba+lt")
     eval_ba = evaluate_module(module, ba)
     eval_lt = evaluate_module(module, lt)

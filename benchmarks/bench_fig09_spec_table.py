@@ -17,6 +17,7 @@ from harness import print_table, write_results
 
 from repro.alias import AliasAnalysisChain, BasicAliasAnalysis, evaluate_module
 from repro.core import StrictInequalityAliasAnalysis
+from repro.passes import FunctionAnalysisCache
 from repro.synth import spec_benchmarks
 
 #: benchmarks the paper highlights as improved by >= 10% (relative).
@@ -26,8 +27,9 @@ ALLOC_HEAVY = ("sjeng", "namd", "omnetpp", "dealII", "perlbench")
 
 def _evaluate(program):
     module = program.module
+    cache = FunctionAnalysisCache()
     ba = BasicAliasAnalysis()
-    lt = StrictInequalityAliasAnalysis(module)
+    lt = StrictInequalityAliasAnalysis(module, cache=cache)
     chain = AliasAnalysisChain([ba, lt], name="ba+lt")
     eval_ba = evaluate_module(module, ba)
     eval_lt = evaluate_module(module, lt)

@@ -22,6 +22,7 @@ from repro.alias import (
     evaluate_module,
 )
 from repro.core import StrictInequalityAliasAnalysis
+from repro.passes import FunctionAnalysisCache
 from repro.synth import spec_benchmarks
 
 LT_FAVOURED = ("lbm", "milc", "gobmk", "bzip2")
@@ -30,8 +31,9 @@ CF_FAVOURED = ("omnetpp", "namd", "dealII")
 
 def _evaluate(program):
     module = program.module
+    cache = FunctionAnalysisCache()
     ba = BasicAliasAnalysis()
-    lt = StrictInequalityAliasAnalysis(module)
+    lt = StrictInequalityAliasAnalysis(module, cache=cache)
     cf = AndersenAliasAnalysis(module)
     eval_ba = evaluate_module(module, ba)
     eval_ba_lt = evaluate_module(module, AliasAnalysisChain([ba, lt], name="ba+lt"))

@@ -19,6 +19,7 @@ from harness import full_scale, print_table, write_results
 
 from repro.alias import AliasAnalysisChain, BasicAliasAnalysis
 from repro.core import StrictInequalityAliasAnalysis
+from repro.passes import FunctionAnalysisCache
 from repro.pdg import count_memory_nodes
 from repro.synth import generate_random_module
 
@@ -30,9 +31,11 @@ PROGRAMS_PER_DEPTH = 20 if full_scale() else 4
 def _measure_program(seed: int, depth: int):
     module = generate_random_module(seed=seed, pointer_depth=depth,
                                     statement_count=12, loop_count=6)
+    cache = FunctionAnalysisCache()
     ba_nodes = count_memory_nodes(module, BasicAliasAnalysis())
     chain = AliasAnalysisChain(
-        [BasicAliasAnalysis(), StrictInequalityAliasAnalysis(module)], name="ba+lt")
+        [BasicAliasAnalysis(), StrictInequalityAliasAnalysis(module, cache=cache)],
+        name="ba+lt")
     chain_nodes = count_memory_nodes(module, chain)
     return ba_nodes, chain_nodes
 

@@ -35,15 +35,36 @@ def full_scale() -> bool:
     return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false", "no")
 
 
+def union_fieldnames(rows: Sequence[Dict[str, object]]) -> List[str]:
+    """Every key appearing in any row, in first-appearance order.
+
+    Rows are allowed to be heterogeneous (summary rows often carry extra or
+    fewer columns than per-benchmark rows); taking the keys of ``rows[0]``
+    alone used to raise ``ValueError``/``KeyError`` downstream.
+    """
+    fieldnames: List[str] = []
+    seen = set()
+    for row in rows:
+        for key in row:
+            if key not in seen:
+                seen.add(key)
+                fieldnames.append(key)
+    return fieldnames
+
+
 def write_results(name: str, rows: Sequence[Dict[str, object]]) -> str:
-    """Write ``rows`` to ``benchmarks/results/<name>.csv`` and return the path."""
+    """Write ``rows`` to ``benchmarks/results/<name>.csv`` and return the path.
+
+    Fields are the union of the keys of all rows; cells a row does not define
+    are written blank.
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, name + ".csv")
     if not rows:
         return path
-    fieldnames = list(rows[0].keys())
+    fieldnames = union_fieldnames(rows)
     with open(path, "w", newline="", encoding="utf-8") as handle:
-        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer = csv.DictWriter(handle, fieldnames=fieldnames, restval="")
         writer.writeheader()
         for row in rows:
             writer.writerow(row)
@@ -51,7 +72,11 @@ def write_results(name: str, rows: Sequence[Dict[str, object]]) -> str:
 
 
 def print_table(title: str, rows: Sequence[Dict[str, object]]) -> None:
-    """Print rows as an aligned text table (visible with ``-s``)."""
+    """Print rows as an aligned text table (visible with ``-s``).
+
+    Like :func:`write_results`, tolerates heterogeneous rows: the columns are
+    the union of all keys and missing cells print blank.
+    """
     print()
     print("=" * len(title))
     print(title)
@@ -59,9 +84,10 @@ def print_table(title: str, rows: Sequence[Dict[str, object]]) -> None:
     if not rows:
         print("(no rows)")
         return
-    headers = list(rows[0].keys())
-    widths = {h: max(len(str(h)), max(len(str(r[h])) for r in rows)) for h in headers}
+    headers = union_fieldnames(rows)
+    widths = {h: max(len(str(h)), max(len(str(r.get(h, ""))) for r in rows))
+              for h in headers}
     print("  ".join(str(h).ljust(widths[h]) for h in headers))
     for row in rows:
-        print("  ".join(str(row[h]).ljust(widths[h]) for h in headers))
+        print("  ".join(str(row.get(h, "")).ljust(widths[h]) for h in headers))
     print()

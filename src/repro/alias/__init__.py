@@ -25,7 +25,14 @@ from repro.alias.basicaa import BasicAliasAnalysis
 from repro.alias.andersen import AndersenAliasAnalysis, AndersenPointsTo
 from repro.alias.steensgaard import SteensgaardAliasAnalysis
 from repro.alias.tbaa import TypeBasedAliasAnalysis
-from repro.alias.aaeval import AliasEvaluation, AliasEvaluator, evaluate_function, evaluate_module
+from repro.alias.aaeval import (
+    AliasEvaluation,
+    AliasEvaluator,
+    alias_many,
+    collect_memory_locations,
+    evaluate_function,
+    evaluate_module,
+)
 
 __all__ = [
     "AliasResult",
@@ -39,6 +46,8 @@ __all__ = [
     "TypeBasedAliasAnalysis",
     "AliasEvaluation",
     "AliasEvaluator",
+    "alias_many",
+    "collect_memory_locations",
     "evaluate_function",
     "evaluate_module",
 ]

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.alias.results import AliasResult, MemoryLocation
 from repro.ir.function import Function
@@ -24,6 +24,24 @@ class AliasAnalysis:
 
     def alias(self, loc_a: MemoryLocation, loc_b: MemoryLocation) -> AliasResult:
         raise NotImplementedError  # pragma: no cover - interface
+
+    def alias_many(self, locations: Sequence[MemoryLocation]) \
+            -> Iterator[Tuple[int, int, AliasResult]]:
+        """Bulk query: yield ``(i, j, verdict)`` for every unordered pair.
+
+        This is the batched entry point the ``aa-eval`` harness and the PDG
+        builder drive: ``MemoryLocation`` objects are constructed once by the
+        caller and reused across the whole O(n²) loop, and analyses whose
+        per-query cost has a memoizable component (e.g. the strict-inequality
+        analysis with its per-value tables) amortize it across the batch.
+        Verdicts are identical to issuing :meth:`alias` pair by pair, in the
+        same ``(i, j)`` iteration order.
+        """
+        count = len(locations)
+        for i in range(count):
+            loc_i = locations[i]
+            for j in range(i + 1, count):
+                yield i, j, self.alias(loc_i, locations[j])
 
     # Convenience entry point used by tests and examples.
     def alias_values(self, a, b, size: Optional[int] = 1) -> AliasResult:
@@ -58,3 +76,21 @@ class AliasAnalysisChain(AliasAnalysis):
             if result is not AliasResult.MAY_ALIAS:
                 return result
         return result
+
+    def alias_many(self, locations: Sequence[MemoryLocation]) \
+            -> Iterator[Tuple[int, int, AliasResult]]:
+        """Merge the members' batched streams pair by pair.
+
+        Every member iterates the same ``(i, j)`` sequence, so the streams
+        are consumed in lockstep and merged exactly like :meth:`alias` does:
+        the first definitive verdict in member order wins.
+        """
+        streams = [analysis.alias_many(locations) for analysis in self.analyses]
+        for verdicts in zip(*streams):
+            i, j, _ = verdicts[0]
+            merged = AliasResult.MAY_ALIAS
+            for _i, _j, verdict in verdicts:
+                merged = merged.merge(verdict)
+                if merged is not AliasResult.MAY_ALIAS:
+                    break
+            yield i, j, merged

@@ -15,7 +15,11 @@
 
 from repro.core.lessthan.analysis import LessThanAnalysis, LessThanAnalysisPass
 from repro.core.lessthan.solver import SolverStatistics
-from repro.core.disambiguation import DisambiguationReason, PointerDisambiguator
+from repro.core.disambiguation import (
+    DisambiguationReason,
+    DisambiguationStatistics,
+    PointerDisambiguator,
+)
 from repro.core.sraa import StrictInequalityAliasAnalysis
 from repro.core.abcd import ABCDAliasAnalysis, ABCDProver
 from repro.core.rangebased import RangeBasedAliasAnalysis
@@ -25,6 +29,7 @@ __all__ = [
     "LessThanAnalysisPass",
     "SolverStatistics",
     "DisambiguationReason",
+    "DisambiguationStatistics",
     "PointerDisambiguator",
     "StrictInequalityAliasAnalysis",
     "ABCDAliasAnalysis",

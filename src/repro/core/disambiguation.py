@@ -19,12 +19,26 @@ queries through the renamed uses produced by ``vSSA``.
 
 The class also reports *why* a pair was disambiguated, which the examples
 and the evaluation harness use to break down the sources of precision.
+
+Performance.  The ``aa-eval`` methodology issues O(n²) queries per function,
+and the class-walk behind each query is invariant while the IR is unchanged.
+The disambiguator therefore memoizes, per value, the canonical name, the
+``(base, index)`` decomposition, and the copy-equivalence class together with
+the union of the LT sets of its members.  The memoized check
+
+``ordered(a, b)  ⇔  names(b) ∩ LT∪(a) ≠ ∅  or  names(a) ∩ LT∪(b) ≠ ∅``
+
+is set-for-set identical to the seed's pairwise loop, so verdicts are
+bit-identical; only the cost per query changes.  Pass ``memoize=False`` to
+get the original recompute-per-query behaviour (the throughput benchmark
+uses it as the baseline), and call :meth:`PointerDisambiguator.invalidate`
+after mutating the IR.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.lessthan.analysis import LessThanAnalysis
 from repro.ir.instructions import Copy, GetElementPtr, Instruction
@@ -40,6 +54,39 @@ class DisambiguationReason(enum.Enum):
 
     def __bool__(self) -> bool:
         return self is not DisambiguationReason.NONE
+
+
+class DisambiguationStatistics:
+    """Counters the evaluation harness reads back after a query batch.
+
+    ``truncated_classes`` counts equivalence classes that exceeded the
+    traversal limit (the members kept are chosen deterministically, but
+    precision may be lost); ``largest_class`` records the biggest class seen
+    before truncation.
+    """
+
+    def __init__(self) -> None:
+        self.queries = 0
+        self.truncated_classes = 0
+        self.largest_class = 0
+        self.memoized_values = 0
+
+    def record_class(self, size: int, truncated: bool) -> None:
+        self.largest_class = max(self.largest_class, size)
+        if truncated:
+            self.truncated_classes += 1
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "queries": self.queries,
+            "truncated_classes": self.truncated_classes,
+            "largest_class": self.largest_class,
+            "memoized_values": self.memoized_values,
+        }
+
+    def __repr__(self) -> str:
+        return "<DisambiguationStatistics queries={} truncated={} largest={}>".format(
+            self.queries, self.truncated_classes, self.largest_class)
 
 
 def _is_variable(value: Value) -> bool:
@@ -59,18 +106,35 @@ def canonical_value(value: Value) -> Value:
         return current
 
 
-def equivalent_names(value: Value, limit: int = 64) -> List[Value]:
+def _name_order_key(value: Value) -> Tuple[int, str]:
+    """Deterministic, construction-order-independent ordering of SSA names.
+
+    Names are unique within a function, and numeric suffixes (``v2`` < ``v10``)
+    sort naturally thanks to the length-first key.
+    """
+    name = getattr(value, "name", "") or ""
+    return (len(name), name)
+
+
+def equivalent_names(value: Value, limit: Optional[int] = 64,
+                     statistics: Optional[DisambiguationStatistics] = None) -> List[Value]:
     """All SSA names denoting the same run-time value as ``value``.
 
     The set contains the canonical name (copies stripped) plus every copy
     transitively derived from it.  Copies are pure renamings, so every member
     evaluates to the same value whenever it is defined.
+
+    Classes larger than ``limit`` are truncated.  The members kept are chosen
+    by a deterministic order on the names themselves (never by uses-list
+    order, which varies with IR construction history), the canonical root and
+    ``value`` itself are always retained, and the truncation is reported on
+    ``statistics`` so callers can see when precision may have been lost.
     """
     root = canonical_value(value)
     names: List[Value] = [root]
     seen: Set[int] = {id(root)}
     index = 0
-    while index < len(names) and len(names) < limit:
+    while index < len(names):
         current = names[index]
         index += 1
         for user in current.users():
@@ -79,6 +143,21 @@ def equivalent_names(value: Value, limit: int = 64) -> List[Value]:
                 names.append(user)
     if id(value) not in seen:
         names.append(value)
+    truncated = limit is not None and len(names) > limit
+    if statistics is not None:
+        statistics.record_class(len(names), truncated)
+    if truncated:
+        keep: List[Value] = [root]
+        if value is not root and id(value) in {id(n) for n in names}:
+            keep.append(value)
+        kept_ids = {id(n) for n in keep}
+        for name in sorted(names, key=_name_order_key):
+            if len(keep) >= limit:
+                break
+            if id(name) not in kept_ids:
+                kept_ids.add(id(name))
+                keep.append(name)
+        names = keep
     return names
 
 
@@ -105,20 +184,88 @@ def decompose_pointer(pointer: Value) -> Tuple[Value, Optional[Value]]:
 
 
 class PointerDisambiguator:
-    """Answers "are these two pointers provably different?" questions."""
+    """Answers "are these two pointers provably different?" questions.
 
-    def __init__(self, analysis: LessThanAnalysis) -> None:
+    With ``memoize=True`` (the default) per-value tables are filled on first
+    use and reused across the whole O(n²) pair loop;
+    :meth:`disambiguate_pairs` bulk-fills them for a batch up front.
+    ``memoize=False`` restores the seed's recompute-per-query behaviour.
+    """
+
+    def __init__(self, analysis: LessThanAnalysis, memoize: bool = True,
+                 class_limit: int = 64) -> None:
         self.analysis = analysis
+        self.memoize = memoize
+        self.class_limit = class_limit
+        self.statistics = DisambiguationStatistics()
+        # Indexed per-value tables (identity-keyed: Values hash by identity).
+        self._canonical: Dict[Value, Value] = {}
+        self._decomposition: Dict[Value, Tuple[Value, Optional[Value]]] = {}
+        self._names: Dict[Value, Tuple[FrozenSet[Value], FrozenSet[Value]]] = {}
+
+    # -- table management -----------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop every memoized table (call after mutating the IR)."""
+        self._canonical.clear()
+        self._decomposition.clear()
+        self._names.clear()
+        self.statistics.memoized_values = 0
+
+    # -- memoized lookups ----------------------------------------------------------
+    def _canonical_of(self, value: Value) -> Value:
+        if not self.memoize:
+            return canonical_value(value)
+        cached = self._canonical.get(value)
+        if cached is None:
+            cached = canonical_value(value)
+            self._canonical[value] = cached
+        return cached
+
+    def _decompose(self, pointer: Value) -> Tuple[Value, Optional[Value]]:
+        if not self.memoize:
+            return decompose_pointer(pointer)
+        cached = self._decomposition.get(pointer)
+        if cached is None:
+            cached = decompose_pointer(pointer)
+            self._decomposition[pointer] = cached
+        return cached
+
+    def _class_info(self, value: Value) -> Tuple[FrozenSet[Value], FrozenSet[Value]]:
+        """``(names, LT∪)``: the equivalence class of ``value`` and the union
+        of the LT sets of its members."""
+        cached = self._names.get(value)
+        if cached is not None:
+            return cached
+        names = equivalent_names(value, limit=self.class_limit,
+                                 statistics=self.statistics)
+        lt_union: Set[Value] = set()
+        lt_sets = self.analysis.lt_sets
+        for name in names:
+            lt_union.update(lt_sets.get(name, ()))
+        info = (frozenset(names), frozenset(lt_union))
+        if self.memoize:
+            self._names[value] = info
+            self.statistics.memoized_values = len(self._names)
+        return info
 
     # -- helpers ------------------------------------------------------------------------
     def _ordered_with_equivalents(self, a: Value, b: Value) -> bool:
-        names_a = equivalent_names(a)
-        names_b = equivalent_names(b)
-        for name_a in names_a:
-            for name_b in names_b:
-                if self.analysis.ordered(name_a, name_b):
-                    return True
-        return False
+        if not self.memoize:
+            # Seed path: recompute the classes and walk every name pair.
+            names_a = equivalent_names(a, limit=self.class_limit,
+                                       statistics=self.statistics)
+            names_b = equivalent_names(b, limit=self.class_limit,
+                                       statistics=self.statistics)
+            for name_a in names_a:
+                for name_b in names_b:
+                    if self.analysis.ordered(name_a, name_b):
+                        return True
+            return False
+        names_a, lt_a = self._class_info(a)
+        names_b, lt_b = self._class_info(b)
+        # ∃ na, nb with na < nb or nb < na  ⇔  the class of one side meets
+        # the union of LT sets of the other.
+        return not names_b.isdisjoint(lt_a) or not names_a.isdisjoint(lt_b)
 
     # -- criteria ---------------------------------------------------------------------
     def pointers_ordered(self, p1: Value, p2: Value) -> bool:
@@ -127,11 +274,11 @@ class PointerDisambiguator:
 
     def indices_ordered(self, p1: Value, p2: Value) -> bool:
         """Criterion 2: same base, and the offsets are strictly ordered variables."""
-        base1, index1 = decompose_pointer(p1)
-        base2, index2 = decompose_pointer(p2)
+        base1, index1 = self._decompose(p1)
+        base2, index2 = self._decompose(p2)
         if index1 is None or index2 is None:
             return False
-        if canonical_value(base1) is not canonical_value(base2):
+        if self._canonical_of(base1) is not self._canonical_of(base2):
             return False
         if not (_is_variable(index1) and _is_variable(index2)):
             # The criterion explicitly requires variables; constant offsets
@@ -139,10 +286,67 @@ class PointerDisambiguator:
             return False
         return self._ordered_with_equivalents(index1, index2)
 
+    # -- batched entry point ---------------------------------------------------------------
+    def disambiguate_pairs(self, pointers: List[Value]):
+        """Yield ``(i, j, reason)`` for every unordered pair of ``pointers``.
+
+        Verdicts are identical to calling :meth:`disambiguate` pair by pair in
+        the same order; the batch path hoists every per-value table lookup out
+        of the O(n²) loop, leaving only identity checks and frozenset
+        operations per pair.
+        """
+        if not self.memoize:
+            for i in range(len(pointers)):
+                for j in range(i + 1, len(pointers)):
+                    yield i, j, self.disambiguate(pointers[i], pointers[j])
+            return
+        count = len(pointers)
+        canon = [self._canonical_of(p) for p in pointers]
+        classes = [self._class_info(p) for p in pointers]
+        decomps = [self._decompose(p) for p in pointers]
+        index_class: List[Optional[Tuple[FrozenSet[Value], FrozenSet[Value]]]] = []
+        base_canon: List[Optional[Value]] = []
+        for base, index in decomps:
+            if index is not None and _is_variable(index):
+                base_canon.append(self._canonical_of(base))
+                index_class.append(self._class_info(index))
+            else:
+                # Constant or missing index: criterion 2 never applies.
+                base_canon.append(None)
+                index_class.append(None)
+        none = DisambiguationReason.NONE
+        ordered = DisambiguationReason.POINTERS_ORDERED
+        indexed = DisambiguationReason.INDICES_ORDERED
+        for i in range(count):
+            canon_i = canon[i]
+            names_i, lt_i = classes[i]
+            base_i = base_canon[i]
+            index_i = index_class[i]
+            for j in range(i + 1, count):
+                self.statistics.queries += 1
+                if canon_i is canon[j]:
+                    yield i, j, none
+                    continue
+                names_j, lt_j = classes[j]
+                if not names_j.isdisjoint(lt_i) or not names_i.isdisjoint(lt_j):
+                    yield i, j, ordered
+                    continue
+                index_j = index_class[j]
+                if (index_i is not None and index_j is not None
+                        and base_i is base_canon[j]):
+                    idx_names_i, idx_lt_i = index_i
+                    idx_names_j, idx_lt_j = index_j
+                    if (not idx_names_j.isdisjoint(idx_lt_i)
+                            or not idx_names_i.isdisjoint(idx_lt_j)):
+                        yield i, j, indexed
+                        continue
+                yield i, j, none
+
     # -- main entry point -----------------------------------------------------------------
     def disambiguate(self, p1: Value, p2: Value) -> DisambiguationReason:
         """Return the criterion proving ``p1`` and ``p2`` disjoint, if any."""
-        if canonical_value(p1) is canonical_value(p2):
+        self.statistics.queries += 1
+        if self._canonical_of(p1) is self._canonical_of(p2):
             return DisambiguationReason.NONE
         if self.pointers_ordered(p1, p2):
             return DisambiguationReason.POINTERS_ORDERED

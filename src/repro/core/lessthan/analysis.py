@@ -44,11 +44,17 @@ class LessThanAnalysis:
     interprocedural:
         Only meaningful for modules: generate pseudo-φ constraints binding
         formal parameters to actual arguments.
+    cache:
+        An optional :class:`repro.passes.analysis_cache.FunctionAnalysisCache`.
+        When provided, the e-SSA conversion and the per-function range
+        analyses are fetched from (and stored into) the cache, so several
+        analyses over the same functions share one computation.
     """
 
     def __init__(self, subject: Union[Function, Module], build_essa: bool = True,
-                 interprocedural: bool = True) -> None:
+                 interprocedural: bool = True, cache: Optional[object] = None) -> None:
         self.subject = subject
+        self.cache = cache
         self.functions: List[Function] = (
             [subject] if isinstance(subject, Function)
             else [f for f in subject.functions if not f.is_declaration()]
@@ -63,12 +69,21 @@ class LessThanAnalysis:
     def _run(self, build_essa: bool, interprocedural: bool) -> None:
         if build_essa:
             for function in self.functions:
-                pre_ranges = RangeAnalysis(function)
-                convert_to_essa(function, pre_ranges)
+                if self.cache is not None:
+                    self.cache.ensure_essa(function)
+                elif not getattr(function, "essa_form", False):
+                    # The pre-conversion ranges only matter for the conversion
+                    # itself, so skip them entirely on already-converted
+                    # functions (conversion is a tagged no-op there).
+                    pre_ranges = RangeAnalysis(function)
+                    convert_to_essa(function, pre_ranges)
         # Ranges on the (possibly transformed) functions, reused by the
         # constraint generator.
         for function in self.functions:
-            self.ranges[function] = RangeAnalysis(function)
+            if self.cache is not None:
+                self.ranges[function] = self.cache.ranges(function)
+            else:
+                self.ranges[function] = RangeAnalysis(function)
         generator = ConstraintGenerator(self.ranges)
         if isinstance(self.subject, Module):
             self.constraints = generator.generate_for_module(

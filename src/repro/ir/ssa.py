@@ -68,13 +68,19 @@ def _promote_single(function: Function, alloca: Alloca, domtree: DominatorTree) 
         if isinstance(user, Store) and user.parent is not None:
             defining_blocks.add(user.parent)
 
+    # Sets of blocks hash by identity, so their iteration order varies from
+    # run to run; ordering by position in the function keeps φ insertion (and
+    # hence value numbering and all downstream analyses) deterministic.
+    block_order = {block: index for index, block in enumerate(function.blocks)}
+
     # 1. Insert φ-functions at the iterated dominance frontier.
     phi_blocks: Set[BasicBlock] = set()
-    worklist = list(defining_blocks)
+    worklist = sorted(defining_blocks, key=block_order.get)
     inserted: Dict[BasicBlock, Phi] = {}
     while worklist:
         block = worklist.pop()
-        for frontier_block in domtree.dominance_frontier(block):
+        for frontier_block in sorted(domtree.dominance_frontier(block),
+                                     key=block_order.get):
             if frontier_block in phi_blocks:
                 continue
             phi_blocks.add(frontier_block)

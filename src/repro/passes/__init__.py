@@ -8,6 +8,7 @@ results are cached per function until a transformation invalidates them.
 
 from repro.passes.pass_base import AnalysisPass, FunctionPass, ModulePass, TransformPass
 from repro.passes.manager import PassManager
+from repro.passes.analysis_cache import CacheStatistics, FunctionAnalysisCache
 
 __all__ = [
     "AnalysisPass",
@@ -15,4 +16,6 @@ __all__ = [
     "ModulePass",
     "TransformPass",
     "PassManager",
+    "CacheStatistics",
+    "FunctionAnalysisCache",
 ]

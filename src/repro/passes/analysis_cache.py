@@ -1,0 +1,230 @@
+"""Memoization of per-function analysis state across alias queries.
+
+The paper's evaluation (``aa-eval``) asks O(n²) queries per function, and
+every configuration of the harness (``LT``, ``BA + LT``, ``BA + CF`` ...)
+re-runs the same sub-analyses on the same, unchanged functions: two
+:class:`~repro.rangeanalysis.analysis.RangeAnalysis` passes per
+:class:`~repro.core.lessthan.analysis.LessThanAnalysis`, one e-SSA
+conversion, one constraint solve.  :class:`FunctionAnalysisCache` memoizes
+that invariant state so no analysis is ever computed twice on an unchanged
+function:
+
+* e-SSA conversion status (with the pre-conversion range analysis folded in),
+* the post-conversion :class:`RangeAnalysis` per function,
+* :class:`LessThanAnalysis` per function and per module (keyed on the
+  interprocedural flag),
+* the :class:`~repro.core.disambiguation.PointerDisambiguator` per analysis,
+  so its per-value tables survive across evaluation rounds.
+
+Invalidation is explicit: after mutating a function, call
+:meth:`FunctionAnalysisCache.invalidate` with it (module-level entries built
+on top of it are dropped too).  The cache deliberately does *not* try to
+detect mutations — the IR has no version counter — so the contract is the
+same as LLVM's analysis manager: whoever transforms the IR invalidates.
+
+``LessThanAnalysis``, ``StrictInequalityAliasAnalysis``, the PDG builder and
+the benchmark drivers all accept a cache instance; wiring one object through
+a whole evaluation makes repeated module-level ``aa-eval`` hit precomputed
+state everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from repro.ir.function import Function
+from repro.ir.module import Module
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.essa.transform import EssaInfo
+    from repro.rangeanalysis.analysis import RangeAnalysis
+
+# The analysis modules themselves import ``repro.passes.pass_base`` (whose
+# package __init__ imports this module), so they are imported lazily inside
+# the methods below to keep the import graph acyclic.
+
+
+class CacheStatistics:
+    """Hit/miss counters, mostly for tests and the throughput benchmark."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "hit_ratio": self.hit_ratio,
+        }
+
+    def __repr__(self) -> str:
+        return "<CacheStatistics hits={} misses={} invalidations={}>".format(
+            self.hits, self.misses, self.invalidations)
+
+
+class FunctionAnalysisCache:
+    """Memoizes range analysis, e-SSA status and less-than analysis.
+
+    All tables key on object identity (functions and modules hash by
+    identity), matching the rest of the code base.
+    """
+
+    def __init__(self) -> None:
+        self._essa: Dict[Function, EssaInfo] = {}
+        self._ranges: Dict[Function, RangeAnalysis] = {}
+        self._function_lessthan: Dict[Function, "LessThanAnalysis"] = {}
+        self._module_lessthan: Dict[Tuple[Module, bool], "LessThanAnalysis"] = {}
+        self._function_disambiguators: Dict[Function, "PointerDisambiguator"] = {}
+        self._module_disambiguators: Dict[Tuple[Module, bool], "PointerDisambiguator"] = {}
+        self.statistics = CacheStatistics()
+
+    # -- e-SSA conversion ---------------------------------------------------------
+    def ensure_essa(self, function: Function) -> EssaInfo:
+        """Convert ``function`` to e-SSA form once; later calls are hits.
+
+        The conversion mutates the IR, so analyses cached for the
+        pre-conversion form are dropped here — this is the one mutation the
+        cache itself performs and can therefore track.
+        """
+        from repro.essa.transform import EssaInfo, convert_to_essa
+        from repro.rangeanalysis.analysis import RangeAnalysis
+
+        info = self._essa.get(function)
+        if info is not None:
+            self.statistics.hits += 1
+            return info
+        self.statistics.misses += 1
+        if getattr(function, "essa_form", False):
+            # Converted outside the cache: nothing to do, record an empty
+            # summary so later calls hit.
+            info = EssaInfo()
+        else:
+            pre_ranges = RangeAnalysis(function)
+            info = convert_to_essa(function, pre_ranges)
+            self._drop_function_entries(function)
+        self._essa[function] = info
+        return info
+
+    # -- range analysis ------------------------------------------------------------
+    def ranges(self, function: Function) -> RangeAnalysis:
+        """The (memoized) range analysis of ``function`` in its current form."""
+        from repro.rangeanalysis.analysis import RangeAnalysis
+
+        cached = self._ranges.get(function)
+        if cached is not None:
+            self.statistics.hits += 1
+            return cached
+        self.statistics.misses += 1
+        analysis = RangeAnalysis(function)
+        self._ranges[function] = analysis
+        return analysis
+
+    # -- less-than analysis -----------------------------------------------------------
+    def lessthan(self, function: Function) -> "LessThanAnalysis":
+        """The (memoized) per-function less-than analysis (builds e-SSA)."""
+        from repro.core.lessthan.analysis import LessThanAnalysis
+
+        cached = self._function_lessthan.get(function)
+        if cached is not None:
+            self.statistics.hits += 1
+            return cached
+        self.statistics.misses += 1
+        analysis = LessThanAnalysis(function, build_essa=True, cache=self)
+        self._function_lessthan[function] = analysis
+        return analysis
+
+    def module_lessthan(self, module: Module,
+                        interprocedural: bool = True) -> "LessThanAnalysis":
+        """The (memoized) whole-module less-than analysis."""
+        from repro.core.lessthan.analysis import LessThanAnalysis
+
+        key = (module, interprocedural)
+        cached = self._module_lessthan.get(key)
+        if cached is not None:
+            self.statistics.hits += 1
+            return cached
+        self.statistics.misses += 1
+        analysis = LessThanAnalysis(module, build_essa=True,
+                                    interprocedural=interprocedural, cache=self)
+        self._module_lessthan[key] = analysis
+        return analysis
+
+    # -- disambiguators ------------------------------------------------------------
+    def function_disambiguator(self, function: Function) -> "PointerDisambiguator":
+        """A shared, table-backed disambiguator over :meth:`lessthan`."""
+        from repro.core.disambiguation import PointerDisambiguator
+
+        cached = self._function_disambiguators.get(function)
+        if cached is not None:
+            self.statistics.hits += 1
+            return cached
+        self.statistics.misses += 1
+        analysis = self.lessthan(function)
+        disambiguator = PointerDisambiguator(analysis)
+        self._function_disambiguators[function] = disambiguator
+        return disambiguator
+
+    def module_disambiguator(self, module: Module,
+                             interprocedural: bool = True) -> "PointerDisambiguator":
+        """A shared, table-backed disambiguator over :meth:`module_lessthan`."""
+        from repro.core.disambiguation import PointerDisambiguator
+
+        key = (module, interprocedural)
+        cached = self._module_disambiguators.get(key)
+        if cached is not None:
+            self.statistics.hits += 1
+            return cached
+        self.statistics.misses += 1
+        analysis = self.module_lessthan(module, interprocedural)
+        disambiguator = PointerDisambiguator(analysis)
+        self._module_disambiguators[key] = disambiguator
+        return disambiguator
+
+    # -- invalidation -----------------------------------------------------------------
+    def _drop_function_entries(self, function: Function) -> None:
+        self._ranges.pop(function, None)
+        self._function_lessthan.pop(function, None)
+        self._function_disambiguators.pop(function, None)
+
+    def invalidate(self, function: Optional[Function] = None) -> None:
+        """Drop cached state for ``function`` (or everything, when ``None``).
+
+        Module-level analyses covering the function's module are dropped too,
+        since their constraints embed the function's instructions.
+        """
+        self.statistics.invalidations += 1
+        if function is None:
+            self._essa.clear()
+            self._ranges.clear()
+            self._function_lessthan.clear()
+            self._module_lessthan.clear()
+            self._function_disambiguators.clear()
+            self._module_disambiguators.clear()
+            return
+        self._essa.pop(function, None)
+        self._drop_function_entries(function)
+        module = function.parent
+        if module is not None:
+            for key in [k for k in self._module_lessthan if k[0] is module]:
+                del self._module_lessthan[key]
+            for key in [k for k in self._module_disambiguators if k[0] is module]:
+                del self._module_disambiguators[key]
+
+    # -- introspection ---------------------------------------------------------------
+    def cached_functions(self) -> int:
+        return len(self._ranges)
+
+    def __repr__(self) -> str:
+        return "<FunctionAnalysisCache functions={} {}>".format(
+            self.cached_functions(), self.statistics)

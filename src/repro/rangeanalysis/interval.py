@@ -20,13 +20,32 @@ POS_INF = float("inf")
 Extended = Union[int, float]
 
 
-def _add(a: Extended, b: Extended) -> Extended:
-    """Extended addition; infinity absorbs."""
-    if a in (NEG_INF, POS_INF):
+def _add(a: Extended, b: Extended, opposite: Extended = NEG_INF) -> Extended:
+    """Extended addition; infinity absorbs finite operands.
+
+    ``(+inf) + (-inf)`` has no meaningful value, so the convention is made
+    explicit: ``opposite`` is returned, independent of operand order.  The
+    caller passes the conservative direction for the bound it is computing
+    (``NEG_INF`` for lower bounds, ``POS_INF`` for upper bounds), so the
+    degenerate sum always widens the interval rather than flipping a bound.
+    """
+    a_infinite = a in (NEG_INF, POS_INF)
+    b_infinite = b in (NEG_INF, POS_INF)
+    if a_infinite and b_infinite and a != b:
+        return opposite
+    if a_infinite:
         return a
-    if b in (NEG_INF, POS_INF):
+    if b_infinite:
         return b
     return a + b
+
+
+def _div_trunc(a: int, b: int) -> int:
+    """Exact C-style (truncating) integer division, without float round-off."""
+    quotient = a // b
+    if quotient < 0 and quotient * b != a:
+        quotient += 1
+    return quotient
 
 
 def _mul(a: Extended, b: Extended) -> Extended:
@@ -169,7 +188,8 @@ class Interval:
     def add(self, other: "Interval") -> "Interval":
         if self._empty or other._empty:
             return Interval.bottom()
-        return Interval(_add(self.lower, other.lower), _add(self.upper, other.upper))
+        return Interval(_add(self.lower, other.lower, NEG_INF),
+                        _add(self.upper, other.upper, POS_INF))
 
     def neg(self) -> "Interval":
         if self._empty:
@@ -201,7 +221,7 @@ class Interval:
                 if bound in (NEG_INF, POS_INF):
                     candidates.append(bound if divisor > 0 else -bound)
                 else:
-                    candidates.append(int(bound / divisor))
+                    candidates.append(_div_trunc(int(bound), divisor))
             return Interval(min(candidates), max(candidates))
         return Interval.top()
 

@@ -76,6 +76,36 @@ def test_alias_evaluator_collects_rows():
     assert row["queries"] == results["ba"].total_queries
 
 
+def test_alias_many_matches_pairwise_queries():
+    from repro.alias import alias_many, collect_memory_locations
+
+    module, function = build_two_index_loop_module()
+    sraa = StrictInequalityAliasAnalysis(module)
+    chain = AliasAnalysisChain([BasicAliasAnalysis(), sraa], name="ba+lt")
+    for analysis in (BasicAliasAnalysis(), sraa, chain):
+        analysis.prepare_function(function)
+        locations = collect_memory_locations(function)
+        batched = alias_many(analysis, locations)
+        expected = AliasEvaluation()
+        for i in range(len(locations)):
+            for j in range(i + 1, len(locations)):
+                expected.record(analysis.alias(locations[i], locations[j]))
+        assert batched.as_dict() == expected.as_dict()
+
+
+def test_alias_many_iterates_upper_triangle_in_order():
+    module, function = build_two_index_loop_module()
+    ba = BasicAliasAnalysis()
+    ba.prepare_function(function)
+    from repro.alias import collect_memory_locations
+
+    locations = collect_memory_locations(function)
+    pairs = [(i, j) for i, j, _verdict in ba.alias_many(locations)]
+    expected = [(i, j) for i in range(len(locations))
+                for j in range(i + 1, len(locations))]
+    assert pairs == expected
+
+
 def test_function_without_pointers_yields_no_queries():
     module = Module("m")
     f = module.create_function("f", INT, [INT], ["x"])

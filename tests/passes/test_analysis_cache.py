@@ -1,0 +1,112 @@
+"""Unit tests for :class:`repro.passes.FunctionAnalysisCache`."""
+
+from repro.core import LessThanAnalysis, StrictInequalityAliasAnalysis
+from repro.ir.instructions import BinaryOp
+from repro.passes import FunctionAnalysisCache
+from tests.helpers import build_two_index_loop_module
+
+
+def test_ensure_essa_converts_once_and_hits_afterwards():
+    module, function = build_two_index_loop_module()
+    cache = FunctionAnalysisCache()
+    assert not getattr(function, "essa_form", False)
+    cache.ensure_essa(function)
+    assert function.essa_form
+    misses = cache.statistics.misses
+    cache.ensure_essa(function)
+    cache.ensure_essa(function)
+    assert cache.statistics.misses == misses
+    assert cache.statistics.hits >= 2
+
+
+def test_ranges_and_lessthan_are_memoized_by_identity():
+    module, function = build_two_index_loop_module()
+    cache = FunctionAnalysisCache()
+    ranges_a = cache.ranges(function)
+    ranges_b = cache.ranges(function)
+    assert ranges_a is ranges_b
+    lt_a = cache.lessthan(function)
+    lt_b = cache.lessthan(function)
+    assert lt_a is lt_b
+    # The cached LessThanAnalysis pulls its range analysis from the cache.
+    assert lt_a.ranges[function] is cache.ranges(function)
+
+
+def test_module_lessthan_keyed_on_interprocedural_flag():
+    module, function = build_two_index_loop_module()
+    cache = FunctionAnalysisCache()
+    intra = cache.module_lessthan(module, interprocedural=False)
+    inter = cache.module_lessthan(module, interprocedural=True)
+    assert intra is not inter
+    assert cache.module_lessthan(module, interprocedural=True) is inter
+    # Both share the same per-function range analysis.
+    assert intra.ranges[function] is inter.ranges[function]
+
+
+def test_disambiguators_are_shared():
+    module, function = build_two_index_loop_module()
+    cache = FunctionAnalysisCache()
+    d1 = cache.module_disambiguator(module)
+    d2 = cache.module_disambiguator(module)
+    assert d1 is d2
+    per_function = cache.function_disambiguator(function)
+    assert cache.function_disambiguator(function) is per_function
+
+
+def test_sraa_instances_share_cached_state():
+    module, function = build_two_index_loop_module()
+    cache = FunctionAnalysisCache()
+    first = StrictInequalityAliasAnalysis(module, cache=cache)
+    second = StrictInequalityAliasAnalysis(module, cache=cache)
+    assert first.analysis is second.analysis
+    assert first._module_disambiguator is second._module_disambiguator
+
+
+def test_invalidate_function_drops_function_and_module_entries():
+    module, function = build_two_index_loop_module()
+    cache = FunctionAnalysisCache()
+    per_function = cache.lessthan(function)
+    module_level = cache.module_lessthan(module)
+    cache.invalidate(function)
+    assert cache.lessthan(function) is not per_function
+    assert cache.module_lessthan(module) is not module_level
+    assert cache.statistics.invalidations == 1
+
+
+def test_invalidation_after_mutation_recomputes_fresh_results():
+    module, function = build_two_index_loop_module()
+    cache = FunctionAnalysisCache()
+    before = cache.lessthan(function)
+    constraints_before = before.constraint_count()
+    # Mutate the IR: a new subtraction in the body adds a less-than
+    # constraint (x - 1 < x).
+    body = function.block_by_name("body")
+    i_phi = function.value_by_name("i")
+    extra = BinaryOp("sub", i_phi, function.value_by_name("inext").operands[1], "extra")
+    body.insert(len(body.instructions) - 1, extra)
+    # Without invalidation the cache (by contract) still returns stale state.
+    assert cache.lessthan(function) is before
+    cache.invalidate(function)
+    after = cache.lessthan(function)
+    assert after is not before
+    assert after.constraint_count() > constraints_before
+
+
+def test_invalidate_all_clears_everything():
+    module, function = build_two_index_loop_module()
+    cache = FunctionAnalysisCache()
+    cache.lessthan(function)
+    cache.module_lessthan(module)
+    cache.invalidate()
+    assert cache.cached_functions() == 0
+
+
+def test_cache_statistics_dict():
+    module, function = build_two_index_loop_module()
+    cache = FunctionAnalysisCache()
+    cache.ranges(function)
+    cache.ranges(function)
+    payload = cache.statistics.as_dict()
+    assert payload["misses"] >= 1
+    assert payload["hits"] >= 1
+    assert 0.0 <= payload["hit_ratio"] <= 1.0

@@ -75,6 +75,34 @@ def test_arithmetic_with_infinities():
     assert Interval.at_least(1).mul(Interval.constant(2)) == Interval.at_least(2)
 
 
+def test_opposite_infinities_add_order_independently():
+    """(+inf) + (-inf) widens the bound, whichever operand comes first."""
+    plus = Interval(POS_INF, POS_INF)
+    minus = Interval(NEG_INF, NEG_INF)
+    assert plus.add(minus) == minus.add(plus)
+    # The degenerate sum is top: the lower bound falls to -inf, the upper
+    # bound rises to +inf, never the other way around.
+    assert plus.add(minus).is_top()
+    assert plus.sub(plus).is_top()
+    assert minus.sub(minus).is_top()
+    # Ordinary absorption is untouched.
+    assert Interval.at_least(0).add(Interval.at_least(5)) == Interval.at_least(5)
+    assert Interval.at_most(0).add(Interval.at_most(-5)) == Interval.at_most(-5)
+
+
+def test_div_bound_ordering_with_negative_divisors():
+    """Dividing by a negative constant swaps the bounds but keeps lower <= upper."""
+    assert Interval(10, 20).div(Interval.constant(-2)) == Interval(-10, -5)
+    assert Interval(-20, -10).div(Interval.constant(-2)) == Interval(5, 10)
+    assert Interval(-7, 7).div(Interval.constant(-2)) == Interval(-3, 3)
+    # Infinite bounds flip sign with the divisor.
+    assert Interval.at_least(4).div(Interval.constant(-2)) == Interval.at_most(-2)
+    assert Interval.at_most(4).div(Interval.constant(-2)) == Interval.at_least(-2)
+    # Large magnitudes divide exactly (no float round-off).
+    big = 2 ** 62 + 1
+    assert Interval.constant(big).div(Interval.constant(-1)) == Interval.constant(-big)
+
+
 def test_division_by_unknown_is_top():
     assert Interval(0, 10).div(Interval(1, 2)).is_top()
     assert Interval(0, 10).rem(Interval(1, 2)).is_top()
@@ -141,3 +169,13 @@ def test_widening_over_approximates_join(ia, ib):
     widened = ia.widen(ib)
     assert widened.includes(ia)
     assert widened.includes(ib)
+
+
+@given(intervals(), st.integers(-6, 6).filter(lambda d: d != 0), small_ints)
+def test_div_is_sound_for_constant_divisors(ia, divisor, x):
+    """If x ∈ ia then C-truncating x/divisor ∈ ia.div(constant(divisor))."""
+    if ia.contains(x):
+        quotient = abs(x) // abs(divisor)
+        if (x < 0) != (divisor < 0):
+            quotient = -quotient
+        assert ia.div(Interval.constant(divisor)).contains(quotient)

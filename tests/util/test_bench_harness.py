@@ -1,0 +1,57 @@
+"""Tests for the benchmark harness helpers (heterogeneous row handling)."""
+
+import csv
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                                "benchmarks"))
+
+import harness
+
+
+HETEROGENEOUS_ROWS = [
+    {"benchmark": "a", "queries": 10, "no_alias": 3},
+    {"benchmark": "b", "queries": 20, "speedup": 2.5},
+    {"benchmark": "TOTAL", "queries": 30, "no_alias": 3, "speedup": 2.5,
+     "repeats": 3},
+]
+
+
+def test_union_fieldnames_preserves_first_appearance_order():
+    assert harness.union_fieldnames(HETEROGENEOUS_ROWS) == [
+        "benchmark", "queries", "no_alias", "speedup", "repeats"]
+
+
+def test_write_results_with_heterogeneous_rows(tmp_path, monkeypatch):
+    monkeypatch.setattr(harness, "RESULTS_DIR", str(tmp_path))
+    path = harness.write_results("hetero", HETEROGENEOUS_ROWS)
+    with open(path, newline="", encoding="utf-8") as handle:
+        rows = list(csv.DictReader(handle))
+    assert len(rows) == 3
+    # Missing cells come back blank, present cells round-trip.
+    assert rows[0]["no_alias"] == "3"
+    assert rows[0]["speedup"] == ""
+    assert rows[1]["speedup"] == "2.5"
+    assert rows[1]["no_alias"] == ""
+    assert rows[2]["repeats"] == "3"
+
+
+def test_write_results_empty_rows_is_a_no_op(tmp_path, monkeypatch):
+    monkeypatch.setattr(harness, "RESULTS_DIR", str(tmp_path))
+    path = harness.write_results("empty", [])
+    assert not os.path.exists(path)
+
+
+def test_print_table_with_heterogeneous_rows(capsys):
+    harness.print_table("title", HETEROGENEOUS_ROWS)
+    out = capsys.readouterr().out
+    assert "title" in out
+    assert "speedup" in out and "repeats" in out
+    # One line per row plus the header; no exception despite missing keys.
+    assert out.count("\n") >= 5
+
+
+def test_print_table_empty(capsys):
+    harness.print_table("empty", [])
+    assert "(no rows)" in capsys.readouterr().out
