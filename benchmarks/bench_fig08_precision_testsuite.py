@@ -7,52 +7,47 @@ whole suite LT increases the precision of BA by 9.49%, and that even where
 LT alone resolves fewer queries than BA, the two are largely complementary.
 
 This harness regenerates those series over the synthetic test-suite-like
-collection.  Expected shape: BA + LT >= BA on every program, with a total
-improvement of several percent, and LT alone resolving a non-trivial number
-of queries that BA cannot.
+collection, routed through the execution engine: one work unit per program,
+fanned out over ``REPRO_WORKERS`` worker processes (serial in-process when
+unset) and persisted/warm-loaded through ``REPRO_STORE`` when given.
+Expected shape: BA + LT >= BA on every program, with a total improvement of
+several percent, and LT alone resolving a non-trivial number of queries that
+BA cannot.
 """
 
 from harness import full_scale, print_table, write_results
 
-from repro.alias import AliasAnalysisChain, BasicAliasAnalysis, evaluate_module
-from repro.core import StrictInequalityAliasAnalysis
-from repro.passes import FunctionAnalysisCache
-from repro.synth import build_testsuite_programs
+from repro.engine import run_workload
+from repro.synth import build_testsuite_sources
 
 PROGRAM_COUNT = 100 if full_scale() else 24
+SPECS = (("basicaa",), ("lt",), ("basicaa", "lt"))
 
 
-def _evaluate_program(program):
-    module = program.module
-    # One analysis cache per program: the LT sub-analyses (ranges, e-SSA,
-    # constraint solve, disambiguation tables) are shared between the LT-only
-    # and the BA + LT evaluation instead of being recomputed.
-    cache = FunctionAnalysisCache()
-    ba = BasicAliasAnalysis()
-    lt = StrictInequalityAliasAnalysis(module, cache=cache)
-    chain = AliasAnalysisChain([ba, lt], name="ba+lt")
-    eval_ba = evaluate_module(module, ba)
-    eval_lt = evaluate_module(module, lt)
-    eval_chain = evaluate_module(module, chain)
+def _row(result):
     return {
-        "benchmark": program.name,
-        "instructions": program.instruction_count,
-        "queries": eval_ba.total_queries,
-        "LT": eval_lt.no_alias,
-        "BA": eval_ba.no_alias,
-        "BA+LT": eval_chain.no_alias,
+        "benchmark": result.name,
+        "instructions": result.instructions,
+        "queries": result.evaluation("basicaa").total_queries,
+        "LT": result.evaluation("lt").no_alias,
+        "BA": result.evaluation("basicaa").no_alias,
+        "BA+LT": result.evaluation("basicaa+lt").no_alias,
     }
 
 
 def test_figure8_precision_over_testsuite(benchmark):
-    programs = build_testsuite_programs(count=PROGRAM_COUNT)
+    sources = build_testsuite_sources(count=PROGRAM_COUNT)
 
-    rows = [_evaluate_program(program) for program in programs]
+    # Workers / store default to the REPRO_WORKERS / REPRO_STORE environment
+    # switches inside the driver.
+    results = run_workload(sources, specs=SPECS)
+    rows = [_row(result) for result in results]
 
     # Benchmark the evaluation of one mid-sized program (representative cost
     # of the full BA / LT / BA+LT pipeline on one benchmark).
-    representative = programs[len(programs) // 2]
-    benchmark(_evaluate_program, representative)
+    representative = sources[len(sources) // 2]
+    benchmark(lambda: run_workload([representative], specs=SPECS, workers=0,
+                                   store=False))
 
     totals = {
         "benchmark": "TOTAL",

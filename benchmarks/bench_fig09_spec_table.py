@@ -6,49 +6,44 @@ highlights the benchmarks where LT improves BA by 10% or more (lbm, milc,
 bzip2, gobmk).
 
 This harness prints the same four columns for the sixteen synthetic SPEC-like
-programs.  Expected shape (matching the paper's story, not its absolute
-numbers): the pointer-arithmetic-heavy programs (lbm, milc, bzip2, gobmk,
-mcf, soplex) see a clear relative improvement of BA + LT over BA, while the
-allocation-heavy programs (sjeng, namd, omnetpp, dealII, perlbench) see
-almost none; BA + LT is never below BA.
+programs, routed through the execution engine (``REPRO_WORKERS`` worker
+processes, ``REPRO_STORE`` persistence; serial in-process by default).
+Expected shape (matching the paper's story, not its absolute numbers): the
+pointer-arithmetic-heavy programs (lbm, milc, bzip2, gobmk, mcf, soplex) see
+a clear relative improvement of BA + LT over BA, while the allocation-heavy
+programs (sjeng, namd, omnetpp, dealII, perlbench) see almost none; BA + LT
+is never below BA.
 """
 
 from harness import print_table, write_results
 
-from repro.alias import AliasAnalysisChain, BasicAliasAnalysis, evaluate_module
-from repro.core import StrictInequalityAliasAnalysis
-from repro.passes import FunctionAnalysisCache
-from repro.synth import spec_benchmarks
+from repro.engine import run_workload
+from repro.synth import spec_sources
 
 #: benchmarks the paper highlights as improved by >= 10% (relative).
 POINTER_HEAVY = ("lbm", "milc", "bzip2", "gobmk")
 ALLOC_HEAVY = ("sjeng", "namd", "omnetpp", "dealII", "perlbench")
 
+SPECS = (("basicaa",), ("lt",), ("basicaa", "lt"))
 
-def _evaluate(program):
-    module = program.module
-    cache = FunctionAnalysisCache()
-    ba = BasicAliasAnalysis()
-    lt = StrictInequalityAliasAnalysis(module, cache=cache)
-    chain = AliasAnalysisChain([ba, lt], name="ba+lt")
-    eval_ba = evaluate_module(module, ba)
-    eval_lt = evaluate_module(module, lt)
-    eval_chain = evaluate_module(module, chain)
+
+def _row(result):
     return {
-        "benchmark": program.name.replace("spec_", ""),
-        "queries": eval_ba.total_queries,
-        "BA%": round(100.0 * eval_ba.no_alias_ratio, 2),
-        "LT%": round(100.0 * eval_lt.no_alias_ratio, 2),
-        "BA+LT%": round(100.0 * eval_chain.no_alias_ratio, 2),
+        "benchmark": result.name.replace("spec_", ""),
+        "queries": result.evaluation("basicaa").total_queries,
+        "BA%": round(100.0 * result.evaluation("basicaa").no_alias_ratio, 2),
+        "LT%": round(100.0 * result.evaluation("lt").no_alias_ratio, 2),
+        "BA+LT%": round(100.0 * result.evaluation("basicaa+lt").no_alias_ratio, 2),
     }
 
 
 def test_figure9_spec_precision_table(benchmark):
-    programs = spec_benchmarks()
-    rows = [_evaluate(program) for program in programs]
+    sources = spec_sources()
+    results = run_workload(sources, specs=SPECS)
+    rows = [_row(result) for result in results]
 
-    lbm = next(p for p in programs if p.name == "spec_lbm")
-    benchmark(_evaluate, lbm)
+    lbm = next(source for source in sources if source[0] == "spec_lbm")
+    benchmark(lambda: run_workload([lbm], specs=SPECS, workers=0, store=False))
 
     print_table("Figure 9 - % of no-alias answers on the SPEC-like programs", rows)
     write_results("fig09_spec_table", rows)

@@ -7,43 +7,51 @@ that constraint solving behaves linearly in practice because each constraint
 is popped from the worklist about 2.12 times before the fixed point.
 
 This harness reproduces both measurements on the synthetic test-suite-like
-programs: it prints one row per program (instructions, constraints, worklist
-pops) plus the aggregate R^2 and the pops-per-constraint ratio.  Expected
-shape: R^2 very close to 1.0 and a small constant pops-per-constraint ratio
-(well below 4).
+programs via the execution engine's ``lessthan-stats`` job — one work unit
+per program, fanned out over ``REPRO_WORKERS`` processes when set — and
+prints one row per program (instructions, constraints, worklist pops) plus
+the aggregate R^2 and the pops-per-constraint ratio.  Expected shape: R^2
+very close to 1.0 and a small constant pops-per-constraint ratio (well
+below 4).
 """
 
 from harness import full_scale, print_table, write_results
 
 from repro.core import LessThanAnalysis
-from repro.synth import build_testsuite_programs
+from repro.engine import run_workload
+from repro.frontend import compile_source
+from repro.synth import build_testsuite_sources
 from repro.util import coefficient_of_determination
 
 PROGRAM_COUNT = 50 if full_scale() else 20
 
 
-def _measure(program):
-    analysis = LessThanAnalysis(program.module, build_essa=True, interprocedural=True)
-    stats = analysis.statistics
+def _row(result):
     return {
-        "benchmark": program.name,
-        "instructions": program.instruction_count,
-        "constraints": stats.constraint_count,
-        "worklist_pops": stats.worklist_pops,
-        "pops_per_constraint": round(stats.pops_per_constraint, 3),
-        "solve_seconds": round(stats.solve_time_seconds, 5),
+        "benchmark": result.name,
+        "instructions": result["instructions"],
+        "constraints": result["constraints"],
+        "worklist_pops": result["worklist_pops"],
+        "pops_per_constraint": round(result["pops_per_constraint"], 3),
+        "solve_seconds": round(result["solve_seconds"], 5),
     }
 
 
 def test_figure11_constraints_linear_in_instructions(benchmark):
-    # Use the *largest* programs of the collection, as the paper does.
-    programs = build_testsuite_programs(count=PROGRAM_COUNT, base_seed=11)
-    programs.sort(key=lambda p: p.instruction_count)
+    sources = build_testsuite_sources(count=PROGRAM_COUNT, base_seed=11)
+    results = run_workload(sources, kind="lessthan-stats")
 
-    rows = [_measure(program) for program in programs]
+    rows = [_row(result) for result in results]
+    # Present the rows smallest-to-largest, as the paper's figure does.
+    rows.sort(key=lambda row: row["instructions"])
 
-    largest = programs[-1]
-    benchmark(lambda: LessThanAnalysis(largest.module, build_essa=False))
+    largest = max(results, key=lambda result: result["instructions"])
+    largest_source = next(source for name, source in sources if name == largest.name)
+    largest_module = compile_source(largest_source, module_name=largest.name)
+    # Convert once (untimed) so the timed analysis below runs on the same
+    # e-SSA form the per-program measurements saw.
+    LessThanAnalysis(largest_module, build_essa=True, interprocedural=True)
+    benchmark(lambda: LessThanAnalysis(largest_module, build_essa=False))
 
     instructions = [row["instructions"] for row in rows]
     constraints = [row["constraints"] for row in rows]

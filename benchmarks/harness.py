@@ -56,18 +56,27 @@ def write_results(name: str, rows: Sequence[Dict[str, object]]) -> str:
     """Write ``rows`` to ``benchmarks/results/<name>.csv`` and return the path.
 
     Fields are the union of the keys of all rows; cells a row does not define
-    are written blank.
+    are written blank.  The CSV is written to a pid-suffixed temp file and
+    moved into place with ``os.replace`` so that concurrent writers (shard
+    workers, parallel benchmark runs) can never interleave partial rows:
+    each rename is atomic and readers only ever see a complete file.
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, name + ".csv")
     if not rows:
         return path
     fieldnames = union_fieldnames(rows)
-    with open(path, "w", newline="", encoding="utf-8") as handle:
-        writer = csv.DictWriter(handle, fieldnames=fieldnames, restval="")
-        writer.writeheader()
-        for row in rows:
-            writer.writerow(row)
+    tmp_path = "{}.tmp.{}".format(path, os.getpid())
+    try:
+        with open(tmp_path, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.DictWriter(handle, fieldnames=fieldnames, restval="")
+            writer.writeheader()
+            for row in rows:
+                writer.writerow(row)
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):
+            os.remove(tmp_path)
     return path
 
 

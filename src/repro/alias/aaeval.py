@@ -10,7 +10,7 @@ and per benchmark suite.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.alias.interface import AliasAnalysis
 from repro.alias.results import AliasResult, MemoryLocation
@@ -55,6 +55,22 @@ class AliasEvaluation:
         merged.partial_alias = self.partial_alias + other.partial_alias
         merged.must_alias = self.must_alias + other.must_alias
         return merged
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "AliasEvaluation":
+        """Rebuild an evaluation from :meth:`as_dict` output.
+
+        Only the four verdict counters are read; derived fields (``queries``,
+        ``no_alias_ratio``) are recomputed.  This is the deserialization hook
+        of the cross-process engine, whose workers ship verdict counts between
+        processes as plain dictionaries.
+        """
+        evaluation = cls()
+        evaluation.no_alias = int(data.get("no_alias", 0))
+        evaluation.may_alias = int(data.get("may_alias", 0))
+        evaluation.partial_alias = int(data.get("partial_alias", 0))
+        evaluation.must_alias = int(data.get("must_alias", 0))
+        return evaluation
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -120,6 +136,26 @@ def alias_many(analysis: AliasAnalysis,
     evaluation.partial_alias = partial
     evaluation.must_alias = must
     return evaluation
+
+
+def evaluate_function_verdicts(function: Function, analysis: AliasAnalysis,
+                               size: Optional[int] = 1) -> "Tuple[AliasEvaluation, str]":
+    """Like :func:`evaluate_function`, but also record the verdict stream.
+
+    Returns ``(evaluation, codes)`` where ``codes`` is one
+    :attr:`AliasResult.code` character per unordered pair in ``(i, j)``
+    iteration order.  The code string is what the cross-process engine
+    persists and compares to certify that sharded and store-warmed runs are
+    bit-identical to the serial path.
+    """
+    analysis.prepare_function(function)
+    locations = collect_memory_locations(function, size)
+    evaluation = AliasEvaluation()
+    codes: List[str] = []
+    for _i, _j, verdict in analysis.alias_many(locations):
+        evaluation.record(verdict)
+        codes.append(verdict.code)
+    return evaluation, "".join(codes)
 
 
 def evaluate_function(function: Function, analysis: AliasAnalysis,

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.alias.results import AliasResult, MemoryLocation
 from repro.ir.function import Function
@@ -25,7 +25,8 @@ class AliasAnalysis:
     def alias(self, loc_a: MemoryLocation, loc_b: MemoryLocation) -> AliasResult:
         raise NotImplementedError  # pragma: no cover - interface
 
-    def alias_many(self, locations: Sequence[MemoryLocation]) \
+    def alias_many(self, locations: Sequence[MemoryLocation],
+                   mask: Optional[Sequence[Tuple[int, int]]] = None) \
             -> Iterator[Tuple[int, int, AliasResult]]:
         """Bulk query: yield ``(i, j, verdict)`` for every unordered pair.
 
@@ -36,7 +37,17 @@ class AliasAnalysis:
         analysis with its per-value tables) amortize it across the batch.
         Verdicts are identical to issuing :meth:`alias` pair by pair, in the
         same ``(i, j)`` iteration order.
+
+        ``mask``, when given, restricts the batch to exactly those ``(i, j)``
+        index pairs, yielded in the given order.  The chain combinator uses it
+        to hand later members only the pairs earlier members left unresolved,
+        so an expensive analysis never re-answers a query basicaa already
+        settled.
         """
+        if mask is not None:
+            for i, j in mask:
+                yield i, j, self.alias(locations[i], locations[j])
+            return
         count = len(locations)
         for i in range(count):
             loc_i = locations[i]
@@ -77,20 +88,36 @@ class AliasAnalysisChain(AliasAnalysis):
                 return result
         return result
 
-    def alias_many(self, locations: Sequence[MemoryLocation]) \
+    def alias_many(self, locations: Sequence[MemoryLocation],
+                   mask: Optional[Sequence[Tuple[int, int]]] = None) \
             -> Iterator[Tuple[int, int, AliasResult]]:
-        """Merge the members' batched streams pair by pair.
+        """Mask-passing merge of the members' batched answers.
 
-        Every member iterates the same ``(i, j)`` sequence, so the streams
-        are consumed in lockstep and merged exactly like :meth:`alias` does:
-        the first definitive verdict in member order wins.
+        The first member answers the whole batch; every later member is asked
+        only about the pairs all earlier members answered MayAlias (the
+        "unresolved" mask).  Merging follows :meth:`alias` exactly — the first
+        definitive verdict in member order wins, and a resolved pair is never
+        shown to later members — so verdicts and their ``(i, j)`` order are
+        identical to the lockstep consumption of full streams, while the
+        expensive members skip every pair basicaa already settled.
         """
-        streams = [analysis.alias_many(locations) for analysis in self.analyses]
-        for verdicts in zip(*streams):
-            i, j, _ = verdicts[0]
-            merged = AliasResult.MAY_ALIAS
-            for _i, _j, verdict in verdicts:
-                merged = merged.merge(verdict)
-                if merged is not AliasResult.MAY_ALIAS:
-                    break
-            yield i, j, merged
+        if mask is None:
+            count = len(locations)
+            pairs = [(i, j) for i in range(count) for j in range(i + 1, count)]
+        else:
+            pairs = [(i, j) for i, j in mask]
+        may_alias = AliasResult.MAY_ALIAS
+        verdicts: Dict[Tuple[int, int], AliasResult] = dict.fromkeys(pairs, may_alias)
+        unresolved = pairs
+        for analysis in self.analyses:
+            if not unresolved:
+                break
+            remaining: List[Tuple[int, int]] = []
+            for i, j, verdict in analysis.alias_many(locations, mask=unresolved):
+                if verdict is may_alias:
+                    remaining.append((i, j))
+                else:
+                    verdicts[(i, j)] = verdict
+            unresolved = remaining
+        for pair in pairs:
+            yield pair[0], pair[1], verdicts[pair]

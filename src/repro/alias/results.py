@@ -34,6 +34,20 @@ class AliasResult(enum.Enum):
     def is_no_alias(self) -> bool:
         return self is AliasResult.NO_ALIAS
 
+    @property
+    def code(self) -> str:
+        """One-character encoding used by the cross-process engine.
+
+        Verdict streams are serialized as compact strings so that per-pair
+        results can be compared bit-for-bit between serial, sharded and
+        store-warmed evaluation runs (and persisted cheaply).
+        """
+        return _RESULT_CODES[self]
+
+    @staticmethod
+    def from_code(code: str) -> "AliasResult":
+        return _RESULTS_BY_CODE[code]
+
     def merge(self, other: "AliasResult") -> "AliasResult":
         """Combine the verdicts of two analyses on the same query.
 
@@ -44,6 +58,16 @@ class AliasResult(enum.Enum):
         if self is AliasResult.MAY_ALIAS:
             return other
         return self
+
+
+_RESULT_CODES = {
+    AliasResult.NO_ALIAS: "N",
+    AliasResult.MAY_ALIAS: "M",
+    AliasResult.PARTIAL_ALIAS: "P",
+    AliasResult.MUST_ALIAS: "U",
+}
+
+_RESULTS_BY_CODE = {code: result for result, code in _RESULT_CODES.items()}
 
 
 class MemoryLocation:

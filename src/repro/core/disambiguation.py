@@ -76,6 +76,29 @@ class DisambiguationStatistics:
         if truncated:
             self.truncated_classes += 1
 
+    def merge(self, other: "DisambiguationStatistics") -> "DisambiguationStatistics":
+        """Lossless aggregation of per-shard statistics on the coordinator.
+
+        Counters sum; ``largest_class`` is a maximum, so the merged value is
+        the maximum over shards — exactly what a single-process run over the
+        union of the shards would have recorded.
+        """
+        merged = DisambiguationStatistics()
+        merged.queries = self.queries + other.queries
+        merged.truncated_classes = self.truncated_classes + other.truncated_classes
+        merged.largest_class = max(self.largest_class, other.largest_class)
+        merged.memoized_values = self.memoized_values + other.memoized_values
+        return merged
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "DisambiguationStatistics":
+        statistics = cls()
+        statistics.queries = int(data.get("queries", 0))
+        statistics.truncated_classes = int(data.get("truncated_classes", 0))
+        statistics.largest_class = int(data.get("largest_class", 0))
+        statistics.memoized_values = int(data.get("memoized_values", 0))
+        return statistics
+
     def as_dict(self) -> Dict[str, int]:
         return {
             "queries": self.queries,
@@ -287,18 +310,31 @@ class PointerDisambiguator:
         return self._ordered_with_equivalents(index1, index2)
 
     # -- batched entry point ---------------------------------------------------------------
-    def disambiguate_pairs(self, pointers: List[Value]):
+    def disambiguate_pairs(self, pointers: List[Value],
+                           pairs: Optional[List[Tuple[int, int]]] = None):
         """Yield ``(i, j, reason)`` for every unordered pair of ``pointers``.
 
         Verdicts are identical to calling :meth:`disambiguate` pair by pair in
         the same order; the batch path hoists every per-value table lookup out
         of the O(n²) loop, leaving only identity checks and frozenset
         operations per pair.
+
+        ``pairs``, when given, restricts the batch to those ``(i, j)`` index
+        pairs (in the given order) and only builds tables for the pointers
+        they involve — the mask-passing entry point of the chain combinator,
+        which skips pairs an earlier analysis already resolved.
         """
         if not self.memoize:
+            if pairs is not None:
+                for i, j in pairs:
+                    yield i, j, self.disambiguate(pointers[i], pointers[j])
+                return
             for i in range(len(pointers)):
                 for j in range(i + 1, len(pointers)):
                     yield i, j, self.disambiguate(pointers[i], pointers[j])
+            return
+        if pairs is not None:
+            yield from self._disambiguate_pair_subset(pointers, pairs)
             return
         count = len(pointers)
         canon = [self._canonical_of(p) for p in pointers]
@@ -341,6 +377,50 @@ class PointerDisambiguator:
                         yield i, j, indexed
                         continue
                 yield i, j, none
+
+    def _disambiguate_pair_subset(self, pointers: List[Value],
+                                  pairs: List[Tuple[int, int]]):
+        """The masked batch: tables only for the indices ``pairs`` mention."""
+        involved = sorted({index for pair in pairs for index in pair})
+        canon: Dict[int, Value] = {}
+        classes: Dict[int, Tuple[FrozenSet[Value], FrozenSet[Value]]] = {}
+        base_canon: Dict[int, Optional[Value]] = {}
+        index_class: Dict[int, Optional[Tuple[FrozenSet[Value], FrozenSet[Value]]]] = {}
+        for k in involved:
+            pointer = pointers[k]
+            canon[k] = self._canonical_of(pointer)
+            classes[k] = self._class_info(pointer)
+            base, index = self._decompose(pointer)
+            if index is not None and _is_variable(index):
+                base_canon[k] = self._canonical_of(base)
+                index_class[k] = self._class_info(index)
+            else:
+                base_canon[k] = None
+                index_class[k] = None
+        none = DisambiguationReason.NONE
+        ordered = DisambiguationReason.POINTERS_ORDERED
+        indexed = DisambiguationReason.INDICES_ORDERED
+        for i, j in pairs:
+            self.statistics.queries += 1
+            if canon[i] is canon[j]:
+                yield i, j, none
+                continue
+            names_i, lt_i = classes[i]
+            names_j, lt_j = classes[j]
+            if not names_j.isdisjoint(lt_i) or not names_i.isdisjoint(lt_j):
+                yield i, j, ordered
+                continue
+            index_i = index_class[i]
+            index_j = index_class[j]
+            if (index_i is not None and index_j is not None
+                    and base_canon[i] is base_canon[j]):
+                idx_names_i, idx_lt_i = index_i
+                idx_names_j, idx_lt_j = index_j
+                if (not idx_names_j.isdisjoint(idx_lt_i)
+                        or not idx_names_i.isdisjoint(idx_lt_j)):
+                    yield i, j, indexed
+                    continue
+            yield i, j, none
 
     # -- main entry point -----------------------------------------------------------------
     def disambiguate(self, p1: Value, p2: Value) -> DisambiguationReason:

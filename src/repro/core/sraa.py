@@ -95,11 +95,14 @@ class StrictInequalityAliasAnalysis(AliasAnalysis):
             return AliasResult.NO_ALIAS
         return AliasResult.MAY_ALIAS
 
-    def alias_many(self, locations):
+    def alias_many(self, locations, mask=None):
         """Batched queries through :meth:`PointerDisambiguator.disambiguate_pairs`.
 
         One table lookup per location instead of per pair; verdicts are
-        identical to issuing :meth:`alias` pair by pair.
+        identical to issuing :meth:`alias` pair by pair.  ``mask`` restricts
+        the batch to the given ``(i, j)`` pairs (see
+        :meth:`AliasAnalysis.alias_many`); the chain combinator uses it so the
+        LT set operations are skipped for pairs basicaa already resolved.
         """
         if not locations:
             return
@@ -107,18 +110,23 @@ class StrictInequalityAliasAnalysis(AliasAnalysis):
         disambiguator = disambiguators[0]
         if any(d is not disambiguator for d in disambiguators):
             # Mixed-function batches fall back to the generic pairwise path.
-            yield from super().alias_many(locations)
+            yield from super().alias_many(locations, mask)
             return
         if disambiguator is None:
+            if mask is not None:
+                for i, j in mask:
+                    yield i, j, AliasResult.MAY_ALIAS
+                return
             for i in range(len(locations)):
                 for j in range(i + 1, len(locations)):
                     yield i, j, AliasResult.MAY_ALIAS
             return
         pointers = [location.pointer for location in locations]
+        pairs = list(mask) if mask is not None else None
         no_alias = AliasResult.NO_ALIAS
         may_alias = AliasResult.MAY_ALIAS
         none = DisambiguationReason.NONE
-        for i, j, reason in disambiguator.disambiguate_pairs(pointers):
+        for i, j, reason in disambiguator.disambiguate_pairs(pointers, pairs):
             yield i, j, (may_alias if reason is none else no_alias)
 
     # -- introspection ---------------------------------------------------------------------
@@ -126,3 +134,13 @@ class StrictInequalityAliasAnalysis(AliasAnalysis):
     def analysis(self) -> Optional[LessThanAnalysis]:
         """The underlying module-level analysis, when prepared with a module."""
         return self._module_analysis
+
+    def disambiguators(self):
+        """Every :class:`PointerDisambiguator` this analysis has built.
+
+        The execution engine reads their statistics to report per-shard
+        disambiguation work (queries, class truncation) on the coordinator.
+        """
+        if self._module_disambiguator is not None:
+            return [self._module_disambiguator]
+        return list(self._per_function.values())

@@ -1,0 +1,321 @@
+"""The coordinator: sharding, worker pools, merging and the store life cycle.
+
+Public API:
+
+* :func:`run_workload` — evaluate a list of benchmark programs, one work
+  unit per program, fanned out over ``multiprocessing`` workers (or run
+  in-process when ``workers <= 1`` — the serial fallback needs no
+  subprocesses, which keeps the tier-1 test suite self-contained).
+* :func:`evaluate_module_parallel` — shard *one* module's functions across
+  workers; every worker compiles the same source (bit-identical IR, since
+  the frontend and mem2reg are deterministic) and evaluates only its shard.
+* :func:`evaluate_module` — the in-process entry point for an already
+  compiled module, sharing its :class:`FunctionAnalysisCache` with the
+  caller.
+
+Defaults come from the environment so existing benchmark drivers switch
+behaviour without code changes:
+
+* ``REPRO_WORKERS`` — worker-process count (``0``/unset = serial).
+* ``REPRO_STORE`` — path of the persistent analysis store (unset = no
+  persistence); ``REPRO_STORE_BACKEND`` may force ``sqlite`` or ``pickle``.
+
+Workers only ever *read* the store; freshly computed entries return to the
+coordinator inside each payload and are written back here, keeping the
+writer count at one regardless of the worker count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import repro
+from repro.alias.aaeval import AliasEvaluation, collect_pointer_values
+from repro.core.disambiguation import DisambiguationStatistics
+from repro.engine import worker as worker_module
+from repro.engine.store import AnalysisStore
+from repro.engine.workunit import DEFAULT_SPECS, Scheduler, WorkUnit
+from repro.frontend import compile_source
+from repro.ir.module import Module
+from repro.passes.analysis_cache import FunctionAnalysisCache
+
+
+def default_workers() -> int:
+    """The worker count requested through ``REPRO_WORKERS`` (0 = serial)."""
+    raw = os.environ.get("REPRO_WORKERS", "").strip()
+    try:
+        return max(0, int(raw)) if raw else 0
+    except ValueError:
+        return 0
+
+
+def default_store_path() -> Optional[str]:
+    """The persistent-store path requested through ``REPRO_STORE``."""
+    raw = os.environ.get("REPRO_STORE", "").strip()
+    return raw or None
+
+
+def _start_method() -> str:
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else methods[0]
+
+
+def _source_root() -> str:
+    # Where this process imported ``repro`` from; spawned workers get it
+    # prepended to sys.path so they can import the package too.
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+class UnitResult:
+    """A merged, coordinator-side view of one work unit's payload."""
+
+    def __init__(self, payload: Dict[str, object]) -> None:
+        self.payload = payload
+
+    @property
+    def name(self) -> str:
+        return self.payload["name"]
+
+    @property
+    def kind(self) -> str:
+        return self.payload.get("kind", "aaeval")
+
+    @property
+    def instructions(self) -> int:
+        return int(self.payload.get("instructions", 0))
+
+    # -- aaeval payloads ----------------------------------------------------------
+    def evaluation(self, label: str) -> AliasEvaluation:
+        counts = self.payload["labels"][label]["counts"]
+        return AliasEvaluation.from_dict(counts)
+
+    @property
+    def labels(self) -> List[str]:
+        return list(self.payload.get("labels", {}))
+
+    def verdicts(self, label: str) -> Dict[str, str]:
+        """Per-function verdict code strings (bit-identity comparisons)."""
+        return dict(self.payload["labels"][label].get("verdicts", {}))
+
+    @property
+    def statistics(self) -> DisambiguationStatistics:
+        return DisambiguationStatistics.from_dict(
+            self.payload.get("statistics", {}))
+
+    @property
+    def store_hits(self) -> int:
+        return int(self.payload.get("store_hits", 0))
+
+    @property
+    def store_misses(self) -> int:
+        return int(self.payload.get("store_misses", 0))
+
+    def __getitem__(self, key: str) -> object:
+        return self.payload[key]
+
+    def __repr__(self) -> str:
+        return "<UnitResult {} kind={}>".format(self.name, self.kind)
+
+
+UnitLike = Union[WorkUnit, Tuple[str, str], object]
+
+
+def _normalize_units(units: Sequence[UnitLike], kind: str,
+                     specs: Sequence[Sequence[str]],
+                     interprocedural: bool) -> List[WorkUnit]:
+    spec_tuple = tuple(tuple(spec) for spec in specs)
+    normalized: List[WorkUnit] = []
+    for unit in units:
+        if isinstance(unit, WorkUnit):
+            normalized.append(unit)
+        elif isinstance(unit, tuple) and len(unit) == 2:
+            name, source = unit
+            normalized.append(WorkUnit(kind, name, source, None, spec_tuple,
+                                       interprocedural))
+        elif hasattr(unit, "name") and hasattr(unit, "source"):
+            # WorkloadProgram and friends.
+            normalized.append(WorkUnit(kind, unit.name, unit.source, None,
+                                       spec_tuple, interprocedural))
+        else:
+            raise TypeError("cannot build a WorkUnit from {!r}".format(unit))
+    return normalized
+
+
+def _resolve_store(store: Union[None, bool, str, AnalysisStore]) \
+        -> Tuple[Optional[AnalysisStore], bool]:
+    """``(store object, whether this call owns/closes it)``.
+
+    ``None`` defers to the ``REPRO_STORE`` environment switch; ``False``
+    disables persistence outright regardless of the environment (benchmarks
+    use it for their no-store baselines).
+    """
+    if store is False:
+        return None, False
+    if store is None:
+        path = default_store_path()
+        return (AnalysisStore(path), True) if path else (None, False)
+    if isinstance(store, AnalysisStore):
+        return store, False
+    return AnalysisStore(str(store)), True
+
+
+def _run_units(units: List[WorkUnit], workers: int,
+               store: Optional[AnalysisStore],
+               max_tasks_per_child: Optional[int] = None) -> List[Dict[str, object]]:
+    """Execute ``units`` (serial or pooled) and write new entries back."""
+    if workers <= 1 or len(units) <= 1:
+        payloads = [worker_module.run_work_unit(unit, store=store)
+                    for unit in units]
+    else:
+        store_spec = None
+        if store is not None:
+            store_spec = (store.path, store.version, store.backend_name)
+        context = multiprocessing.get_context(_start_method())
+        pool = context.Pool(processes=workers,
+                            initializer=worker_module.initialize_worker,
+                            initargs=(_source_root(),),
+                            maxtasksperchild=max_tasks_per_child)
+        try:
+            payloads = pool.map(worker_module.execute,
+                                [(unit, store_spec) for unit in units],
+                                chunksize=1)
+        finally:
+            pool.close()
+            pool.join()
+    if store is not None and not store.readonly:
+        entries: Dict[str, object] = {}
+        for payload in payloads:
+            for key, record in payload.get("new_entries", []):
+                entries[key] = record
+        store.put_many(entries.items())
+    for payload in payloads:
+        payload.pop("new_entries", None)
+    return payloads
+
+
+def run_workload(units: Sequence[UnitLike], kind: str = "aaeval",
+                 specs: Sequence[Sequence[str]] = DEFAULT_SPECS,
+                 workers: Optional[int] = None,
+                 store: Union[None, bool, str, AnalysisStore] = None,
+                 interprocedural: bool = True,
+                 max_tasks_per_child: Optional[int] = None) -> List[UnitResult]:
+    """Evaluate one work unit per benchmark program, possibly in parallel.
+
+    ``units`` may be ``WorkUnit`` objects, ``(name, source)`` tuples or
+    anything with ``name``/``source`` attributes (``WorkloadProgram``).
+    Results come back in input order regardless of worker scheduling.
+    ``store=None`` defers to ``REPRO_STORE``; pass ``store=False`` to force
+    a persistence-free run (e.g. a timing baseline).
+    """
+    work = _normalize_units(units, kind, specs, interprocedural)
+    worker_count = default_workers() if workers is None else workers
+    store_obj, owned = _resolve_store(store)
+    try:
+        payloads = _run_units(work, worker_count, store_obj, max_tasks_per_child)
+    finally:
+        if owned and store_obj is not None:
+            store_obj.close()
+    return [UnitResult(payload) for payload in payloads]
+
+
+def _merge_aaeval_payloads(name: str,
+                           payloads: List[Dict[str, object]]) -> Dict[str, object]:
+    """Merge per-shard ``aaeval`` payloads losslessly on the coordinator."""
+    merged_labels: Dict[str, Dict[str, object]] = {}
+    statistics = DisambiguationStatistics()
+    functions: List[str] = []
+    store_hits = store_misses = 0
+    for payload in payloads:
+        functions.extend(payload["functions"])
+        statistics = statistics.merge(
+            DisambiguationStatistics.from_dict(payload.get("statistics", {})))
+        store_hits += payload.get("store_hits", 0)
+        store_misses += payload.get("store_misses", 0)
+        for label, data in payload["labels"].items():
+            slot = merged_labels.setdefault(
+                label, {"counts": AliasEvaluation().as_dict(), "verdicts": {}})
+            merged = AliasEvaluation.from_dict(slot["counts"]).merge(
+                AliasEvaluation.from_dict(data["counts"]))
+            slot["counts"] = merged.as_dict()
+            slot["verdicts"].update(data.get("verdicts", {}))
+    return {
+        "kind": "aaeval",
+        "name": name,
+        "functions": functions,
+        "instructions": payloads[0]["instructions"] if payloads else 0,
+        "module_hash": payloads[0].get("module_hash", "") if payloads else "",
+        "labels": merged_labels,
+        "statistics": statistics.as_dict(),
+        "store_hits": store_hits,
+        "store_misses": store_misses,
+    }
+
+
+def evaluate_module_parallel(name: str, source: str,
+                             specs: Sequence[Sequence[str]] = DEFAULT_SPECS,
+                             workers: Optional[int] = None,
+                             store: Union[None, bool, str, AnalysisStore] = None,
+                             interprocedural: bool = True) -> UnitResult:
+    """Shard one module's functions across worker processes and merge.
+
+    The coordinator compiles the module once to discover function names and
+    weights (pointer count squared — the query loop is quadratic); each
+    worker recompiles the identical source and evaluates only its shard.
+    With ``workers <= 1`` the whole module is evaluated in-process.
+    """
+    worker_count = default_workers() if workers is None else workers
+    spec_tuple = tuple(tuple(spec) for spec in specs)
+    unit = WorkUnit("aaeval", name, source, None, spec_tuple, interprocedural)
+    if worker_count > 1:
+        module = compile_source(source, module_name=name)
+        names = [function.name for function in module.defined_functions()]
+        weights = [float(len(collect_pointer_values(function)) ** 2 + 1)
+                   for function in module.defined_functions()]
+        shards = Scheduler(worker_count).shard_unit(unit, names, weights)
+    else:
+        shards = [unit]
+    store_obj, owned = _resolve_store(store)
+    try:
+        payloads = _run_units(shards, worker_count, store_obj)
+    finally:
+        if owned and store_obj is not None:
+            store_obj.close()
+    return UnitResult(_merge_aaeval_payloads(name, payloads))
+
+
+def evaluate_module(module: Module,
+                    specs: Sequence[Sequence[str]] = DEFAULT_SPECS,
+                    cache: Optional[FunctionAnalysisCache] = None,
+                    store: Union[None, bool, str, AnalysisStore] = None,
+                    interprocedural: bool = True,
+                    record_verdicts: bool = True,
+                    memoize_evaluations: bool = True) -> UnitResult:
+    """Evaluate an already compiled module in-process.
+
+    Shares ``cache`` with the caller so repeated evaluation hits memoized
+    analyses; with a store, results are warm-loaded/persisted exactly like
+    the worker path.  Store keys content-address the *pre-conversion* IR, so
+    a module that has already been e-SSA-converted outside the engine cannot
+    be addressed canonically any more — persistence is skipped for it rather
+    than growing an incompatible second key family.
+    """
+    store_obj, owned = _resolve_store(store)
+    if store_obj is not None and any(getattr(function, "essa_form", False)
+                                     for function in module.defined_functions()):
+        if owned:
+            store_obj.close()
+        store_obj, owned = None, False
+    try:
+        payload = worker_module.evaluate_module_functions(
+            module, None, specs, cache, store_obj,
+            interprocedural=interprocedural, record_verdicts=record_verdicts,
+            memoize_evaluations=memoize_evaluations)
+        if store_obj is not None and not store_obj.readonly:
+            store_obj.put_many(dict(payload.get("new_entries", [])).items())
+        payload.pop("new_entries", None)
+    finally:
+        if owned and store_obj is not None:
+            store_obj.close()
+    return UnitResult(payload)

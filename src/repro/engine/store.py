@@ -1,0 +1,308 @@
+"""The persistent analysis store of the execution engine.
+
+``aa-eval`` results are a pure function of the compiled IR: the frontend,
+mem2reg and the e-SSA conversion are deterministic, so the same source text
+always produces bit-identical IR and bit-identical verdicts.  The
+:class:`AnalysisStore` exploits that to persist per-function evaluation
+payloads *across processes and across runs*: entries are keyed by a content
+hash of the function's (pre-conversion) IR text — plus the surrounding
+module's hash, because the interprocedural less-than analysis reads the
+whole module — and a warm store lets repeated benchmark runs skip the
+analysis pipeline entirely.
+
+Two backends provide the same mapping interface:
+
+* **sqlite** (the default) — one file, safe concurrent readers, single
+  writer (the coordinator); schema::
+
+      meta(key TEXT PRIMARY KEY, value TEXT)        -- 'version' row
+      entries(key TEXT PRIMARY KEY, payload BLOB)   -- pickled payload
+
+* **pickle** — a plain pickled dict, for environments without ``sqlite3``
+  (or when the store path ends in ``.pkl`` /
+  ``REPRO_STORE_BACKEND=pickle``); written atomically via ``os.replace``.
+
+Invalidation is versioned: the store records a version string
+(:data:`STORE_VERSION`, bumped whenever analysis semantics change) and
+clears itself on mismatch, so stale results can never leak into a run of
+newer code.  Workers open the store read-only; freshly computed payloads
+travel back to the coordinator inside the shard result and are written by
+the coordinator alone, which keeps the writer count at one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - sqlite3 is in the stdlib virtually everywhere
+    import sqlite3
+except ImportError:  # pragma: no cover
+    sqlite3 = None
+
+#: bump when the analysis pipeline's semantics or the key derivation change
+#: in a way that makes previously persisted entries stale or unreachable.
+#: v2: function-level keys encode the interprocedural mode.
+STORE_VERSION = "aaeval-2"
+
+
+def function_key(label: str, function_text: str, module_text_hash: str = "") -> str:
+    """Content-address one ``(analysis label, function)`` evaluation.
+
+    ``module_text_hash`` ties the entry to the surrounding module: the
+    interprocedural less-than analysis derives constraints from every
+    function, so editing any part of the module must miss.  Pass the digest
+    from :func:`text_hash` of the whole module's printed IR.
+    """
+    digest = hashlib.sha256()
+    digest.update(label.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(function_text.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(module_text_hash.encode("utf-8"))
+    return digest.hexdigest()
+
+
+def text_hash(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def unit_key(kind: str, name: str, source: str, labels: Sequence[str],
+             interprocedural: bool) -> str:
+    """Content-address a whole work unit's payload by its *source text*.
+
+    The frontend is deterministic, so the source uniquely determines the IR
+    and hence every verdict.  Unit-level entries sit on top of the
+    function-level ones as a memo of the merged payload: a fully warm unit
+    is answered before compilation even starts, which is what lets repeated
+    benchmark runs skip the analysis pipeline entirely.  Function-level
+    entries (keyed by IR text via :func:`function_key`) remain the ground
+    truth and are what partial warm runs draw from.
+    """
+    digest = hashlib.sha256()
+    for part in (kind, name, source, "|".join(labels),
+                 "ip" if interprocedural else "fn"):
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\x00")
+    return "unit-" + digest.hexdigest()
+
+
+class _SqliteBackend:
+    """One sqlite file; readers may be concurrent, the writer is single."""
+
+    name = "sqlite"
+
+    def __init__(self, path: str, readonly: bool = False) -> None:
+        self.path = path
+        self.readonly = readonly
+        if readonly:
+            # Missing file in read-only mode: behave as an empty store
+            # instead of creating one (workers race benchmark start-up).
+            if not os.path.exists(path):
+                self._connection = None
+                return
+            uri = "file:{}?mode=ro".format(path.replace("?", "%3f").replace("#", "%23"))
+            self._connection = sqlite3.connect(uri, uri=True)
+            return
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._connection = sqlite3.connect(path)
+        self._connection.execute(
+            "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)")
+        self._connection.execute(
+            "CREATE TABLE IF NOT EXISTS entries (key TEXT PRIMARY KEY, payload BLOB)")
+        self._connection.commit()
+
+    def get_meta(self, key: str) -> Optional[str]:
+        if self._connection is None:
+            return None
+        try:
+            row = self._connection.execute(
+                "SELECT value FROM meta WHERE key = ?", (key,)).fetchone()
+        except sqlite3.OperationalError:  # read-only store without schema
+            return None
+        return row[0] if row else None
+
+    def set_meta(self, key: str, value: str) -> None:
+        self._connection.execute(
+            "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)", (key, value))
+        self._connection.commit()
+
+    def get(self, key: str) -> Optional[bytes]:
+        if self._connection is None:
+            return None
+        try:
+            row = self._connection.execute(
+                "SELECT payload FROM entries WHERE key = ?", (key,)).fetchone()
+        except sqlite3.OperationalError:
+            return None
+        return bytes(row[0]) if row else None
+
+    def put_many(self, items: Iterable[Tuple[str, bytes]]) -> None:
+        self._connection.executemany(
+            "INSERT OR REPLACE INTO entries (key, payload) VALUES (?, ?)",
+            list(items))
+        self._connection.commit()
+
+    def keys(self) -> List[str]:
+        if self._connection is None:
+            return []
+        try:
+            return [row[0] for row in
+                    self._connection.execute("SELECT key FROM entries")]
+        except sqlite3.OperationalError:
+            return []
+
+    def clear(self) -> None:
+        self._connection.execute("DELETE FROM entries")
+        self._connection.commit()
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+
+class _PickleBackend:
+    """A pickled ``{meta: ..., entries: ...}`` dict, replaced atomically."""
+
+    name = "pickle"
+
+    def __init__(self, path: str, readonly: bool = False) -> None:
+        self.path = path
+        self.readonly = readonly
+        self._meta: Dict[str, str] = {}
+        self._entries: Dict[str, bytes] = {}
+        if os.path.exists(path):
+            with open(path, "rb") as handle:
+                data = pickle.load(handle)
+            self._meta = dict(data.get("meta", {}))
+            self._entries = dict(data.get("entries", {}))
+        elif not readonly:
+            directory = os.path.dirname(os.path.abspath(path))
+            os.makedirs(directory, exist_ok=True)
+
+    def _flush(self) -> None:
+        tmp_path = "{}.tmp.{}".format(self.path, os.getpid())
+        with open(tmp_path, "wb") as handle:
+            pickle.dump({"meta": self._meta, "entries": self._entries}, handle,
+                        protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp_path, self.path)
+
+    def get_meta(self, key: str) -> Optional[str]:
+        return self._meta.get(key)
+
+    def set_meta(self, key: str, value: str) -> None:
+        self._meta[key] = value
+        self._flush()
+
+    def get(self, key: str) -> Optional[bytes]:
+        return self._entries.get(key)
+
+    def put_many(self, items: Iterable[Tuple[str, bytes]]) -> None:
+        self._entries.update(items)
+        self._flush()
+
+    def keys(self) -> List[str]:
+        return list(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._flush()
+
+    def close(self) -> None:
+        pass
+
+
+def _pick_backend(path: str) -> str:
+    explicit = os.environ.get("REPRO_STORE_BACKEND", "").strip().lower()
+    if explicit in ("sqlite", "pickle"):
+        return explicit
+    if path.endswith(".pkl") or path.endswith(".pickle"):
+        return "pickle"
+    return "sqlite" if sqlite3 is not None else "pickle"
+
+
+class AnalysisStore:
+    """Persistent, content-addressed map ``key -> evaluation payload``.
+
+    ``version`` guards against stale results: on open, a writable store
+    whose recorded version differs is cleared and restamped; a read-only
+    store with a mismatched version answers every lookup with a miss.
+    """
+
+    def __init__(self, path: str, version: str = STORE_VERSION,
+                 backend: Optional[str] = None, readonly: bool = False) -> None:
+        self.path = path
+        self.version = version
+        self.readonly = readonly
+        backend_name = backend or _pick_backend(path)
+        if backend_name == "pickle" or sqlite3 is None:
+            self._backend = _PickleBackend(path, readonly=readonly)
+        else:
+            self._backend = _SqliteBackend(path, readonly=readonly)
+        self.hits = 0
+        self.misses = 0
+        stored = self._backend.get_meta("version")
+        self._version_ok = stored == version
+        if not self._version_ok and not readonly:
+            if stored is not None:
+                self._backend.clear()
+            self._backend.set_meta("version", version)
+            self._version_ok = True
+
+    @property
+    def backend_name(self) -> str:
+        return self._backend.name
+
+    def get(self, key: str) -> Optional[object]:
+        """The payload stored under ``key``, or ``None`` on a miss."""
+        if not self._version_ok:
+            self.misses += 1
+            return None
+        blob = self._backend.get(key)
+        if blob is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return pickle.loads(blob)
+
+    def put(self, key: str, payload: object) -> None:
+        self.put_many([(key, payload)])
+
+    def put_many(self, items: Iterable[Tuple[str, object]]) -> None:
+        if self.readonly:
+            raise RuntimeError("analysis store opened read-only")
+        encoded = [(key, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+                   for key, payload in items]
+        if encoded:
+            self._backend.put_many(encoded)
+
+    def keys(self) -> List[str]:
+        return self._backend.keys() if self._version_ok else []
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __contains__(self, key: str) -> bool:
+        return self._version_ok and self._backend.get(key) is not None
+
+    def clear(self) -> None:
+        if self.readonly:
+            raise RuntimeError("analysis store opened read-only")
+        self._backend.clear()
+
+    def close(self) -> None:
+        self._backend.close()
+
+    def __enter__(self) -> "AnalysisStore":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return "<AnalysisStore {} backend={} hits={} misses={}>".format(
+            self.path, self.backend_name, self.hits, self.misses)

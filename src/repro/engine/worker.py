@@ -1,0 +1,355 @@
+"""Work-unit execution: what runs inside every worker process.
+
+A worker receives a :class:`~repro.engine.workunit.WorkUnit`, compiles the
+unit's source text with the (deterministic) frontend, runs the requested job
+over its shard of functions and returns a plain-dict payload built from
+picklable primitives only — verdict counters, per-pair verdict code strings,
+statistics dicts — which the coordinator merges.
+
+The ``aaeval`` job implements the engine's caching discipline:
+
+1. hash every function's printed IR (*before* the e-SSA conversion mutates
+   it) together with the whole module's hash,
+2. warm-load any persisted payloads from the analysis store into the
+   :class:`~repro.passes.analysis_cache.FunctionAnalysisCache`,
+3. for cache misses only: convert the module to e-SSA form and evaluate with
+   the requested analysis configurations (so a fully warm run never builds a
+   range analysis, never solves constraints and never issues a query),
+4. ship freshly computed payloads back to the coordinator, which alone
+   writes to the store.
+
+Every evaluation path — serial, sharded, store-warmed — follows the same
+pipeline convention (evaluate on the e-SSA-converted module), so per-pair
+verdict streams are bit-identical across all of them.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.alias.aaeval import (
+    AliasEvaluation,
+    evaluate_function,
+    evaluate_function_verdicts,
+)
+from repro.alias.basicaa import BasicAliasAnalysis
+from repro.alias.andersen import AndersenAliasAnalysis
+from repro.alias.interface import AliasAnalysis, AliasAnalysisChain
+from repro.alias.steensgaard import SteensgaardAliasAnalysis
+from repro.alias.tbaa import TypeBasedAliasAnalysis
+from repro.core.disambiguation import DisambiguationStatistics
+from repro.core.sraa import StrictInequalityAliasAnalysis
+from repro.engine.store import AnalysisStore, function_key, text_hash, unit_key
+from repro.engine.workunit import WorkUnit, spec_label
+from repro.frontend import compile_source
+from repro.ir.module import Module
+from repro.ir.printer import print_function, print_module
+from repro.passes.analysis_cache import FunctionAnalysisCache
+
+
+def initialize_worker(src_path: Optional[str]) -> None:
+    """Pool initializer: make ``repro`` importable under the spawn method.
+
+    Forked workers inherit the parent's ``sys.path``; spawned ones re-import
+    from scratch and only see ``PYTHONPATH``, so the coordinator passes the
+    source root it imported ``repro`` from.
+    """
+    if src_path and src_path not in sys.path:
+        sys.path.insert(0, src_path)
+
+
+def _member_analysis(member: str, module: Module, cache: FunctionAnalysisCache,
+                     interprocedural: bool) -> AliasAnalysis:
+    if member == "basicaa":
+        return BasicAliasAnalysis()
+    if member == "lt":
+        return StrictInequalityAliasAnalysis(module, interprocedural=interprocedural,
+                                             cache=cache)
+    if member == "andersen":
+        return AndersenAliasAnalysis(module)
+    if member == "steensgaard":
+        return SteensgaardAliasAnalysis(module)
+    if member == "tbaa":
+        return TypeBasedAliasAnalysis()
+    raise KeyError("unknown analysis spec member {!r}".format(member))
+
+
+def build_analysis(spec: Sequence[str], module: Module,
+                   cache: FunctionAnalysisCache,
+                   interprocedural: bool = True) -> AliasAnalysis:
+    """Instantiate one analysis configuration (a member or a chain)."""
+    members = [_member_analysis(member, module, cache, interprocedural)
+               for member in spec]
+    if len(members) == 1:
+        return members[0]
+    return AliasAnalysisChain(members, name=spec_label(spec))
+
+
+def module_content_text(module: Module) -> str:
+    """The module's printed IR minus its name line.
+
+    ``print_module`` leads with a ``; module <name>`` comment; hashing must
+    ignore it so that two units with identical content but different program
+    names share function-level store entries.
+    """
+    text = print_module(module)
+    if text.startswith("; module "):
+        _header, _sep, rest = text.partition("\n")
+        return rest
+    return text
+
+
+def _shard_functions(module: Module, names: Optional[Sequence[str]]):
+    functions = list(module.defined_functions())
+    if names is None:
+        return functions
+    wanted = set(names)
+    return [function for function in functions if function.name in wanted]
+
+
+def evaluate_module_functions(module: Module,
+                              function_names: Optional[Sequence[str]] = None,
+                              specs: Sequence[Sequence[str]] = (("lt",),),
+                              cache: Optional[FunctionAnalysisCache] = None,
+                              store: Optional[AnalysisStore] = None,
+                              interprocedural: bool = True,
+                              record_verdicts: bool = True,
+                              memoize_evaluations: bool = True,
+                              name: Optional[str] = None) -> Dict[str, object]:
+    """Evaluate ``specs`` over (a shard of) ``module``'s functions.
+
+    This is the core of the ``aaeval`` job, also callable in-process on an
+    already compiled module (the serial fallback needs no pickling and no
+    subprocesses).  Returns the payload described in the module docstring.
+
+    ``memoize_evaluations=False`` disables the per-(function, label) payload
+    memo on the cache, so repeated calls re-run the query loop over the
+    (still memoized) analyses — what a throughput measurement of the query
+    engine itself wants.  With a store the memo is always on: warm-loading
+    is what the store is for.
+    """
+    if store is not None:
+        memoize_evaluations = True
+    cache = cache if cache is not None else FunctionAnalysisCache()
+    functions = _shard_functions(module, function_names)
+    if store is not None:
+        record_verdicts = True  # store entries must carry the verdict stream
+    labels = [spec_label(spec) for spec in specs]
+    # Interprocedural and intraprocedural LT runs produce different facts for
+    # the same IR, so the mode must be part of every memoization key — both
+    # the persistent one (function_key below) and the in-process cache's.
+    # User-facing payload labels stay undecorated.
+    mode_suffix = "" if interprocedural else "#intra"
+
+    # Content addresses, computed before any conversion mutates the IR.
+    keys: Dict[Tuple[str, str], str] = {}
+    if store is not None:
+        # The counters are cumulative on the store object (which serial runs
+        # share across units), so report this unit's delta.
+        hits_before, misses_before = store.hits, store.misses
+        module_hash = text_hash(module_content_text(module))
+        for function in functions:
+            function_text = print_function(function)
+            for label in labels:
+                key = function_key(label + mode_suffix, function_text, module_hash)
+                keys[(function.name, label)] = key
+                payload = store.get(key)
+                if payload is not None:
+                    cache.put_evaluation(function, label + mode_suffix, payload)
+        store_hits = store.hits - hits_before
+        store_misses = store.misses - misses_before
+    else:
+        module_hash = ""
+        store_hits = store_misses = 0
+
+    analyses: Dict[str, AliasAnalysis] = {}
+    prepared = False
+    new_entries: List[Tuple[str, object]] = []
+    label_payloads: Dict[str, Dict[str, object]] = {}
+    for spec in specs:
+        label = spec_label(spec)
+        cache_label = label + mode_suffix
+        merged = AliasEvaluation()
+        verdicts: Dict[str, str] = {}
+        for function in functions:
+            record = (cache.get_evaluation(function, cache_label)
+                      if memoize_evaluations else None)
+            if record is None:
+                if not prepared:
+                    # Pipeline convention: every path evaluates the
+                    # e-SSA-converted module (RangeAnalysis -> vSSA -> queries,
+                    # like the original artifact), so verdicts do not depend
+                    # on which specs run or hit.
+                    for defined in module.defined_functions():
+                        cache.ensure_essa(defined)
+                    prepared = True
+                if label not in analyses:
+                    analyses[label] = build_analysis(spec, module, cache,
+                                                     interprocedural)
+                analysis = analyses[label]
+                if record_verdicts:
+                    evaluation, codes = evaluate_function_verdicts(function, analysis)
+                    record = {"counts": evaluation.as_dict(), "codes": codes}
+                else:
+                    evaluation = evaluate_function(function, analysis)
+                    record = {"counts": evaluation.as_dict()}
+                if memoize_evaluations:
+                    cache.put_evaluation(function, cache_label, record)
+                if store is not None:
+                    new_entries.append((keys[(function.name, label)], record))
+            merged = merged.merge(AliasEvaluation.from_dict(record["counts"]))
+            if "codes" in record:
+                verdicts[function.name] = record["codes"]
+        label_payloads[label] = {"counts": merged.as_dict(), "verdicts": verdicts}
+
+    statistics = DisambiguationStatistics()
+    seen_disambiguators = set()
+    for analysis in analyses.values():
+        members = (analysis.analyses if isinstance(analysis, AliasAnalysisChain)
+                   else [analysis])
+        for member in members:
+            if not isinstance(member, StrictInequalityAliasAnalysis):
+                continue
+            for disambiguator in member.disambiguators():
+                if id(disambiguator) in seen_disambiguators:
+                    continue
+                seen_disambiguators.add(id(disambiguator))
+                statistics = statistics.merge(disambiguator.statistics)
+
+    return {
+        "kind": "aaeval",
+        "name": name if name is not None else module.name,
+        "functions": [function.name for function in functions],
+        "instructions": module.instruction_count(),
+        "module_hash": module_hash,
+        "labels": label_payloads,
+        "statistics": statistics.as_dict(),
+        "store_hits": store_hits,
+        "store_misses": store_misses,
+        "new_entries": new_entries,
+        "pid": os.getpid(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Jobs
+# ---------------------------------------------------------------------------
+
+def _job_aaeval(unit: WorkUnit, module: Module, cache: FunctionAnalysisCache,
+                store: Optional[AnalysisStore]) -> Dict[str, object]:
+    return evaluate_module_functions(
+        module, unit.functions, unit.specs, cache, store,
+        interprocedural=unit.interprocedural, name=unit.name)
+
+
+def _job_lessthan_stats(unit: WorkUnit, module: Module,
+                        cache: FunctionAnalysisCache,
+                        _store: Optional[AnalysisStore]) -> Dict[str, object]:
+    """Constraint-generation/solving metrics (the Figure 11 measurement)."""
+    analysis = cache.module_lessthan(module, unit.interprocedural)
+    statistics = analysis.statistics
+    return {
+        "kind": "lessthan-stats",
+        "name": unit.name,
+        "instructions": module.instruction_count(),
+        "constraints": statistics.constraint_count,
+        "worklist_pops": statistics.worklist_pops,
+        "pops_per_constraint": statistics.pops_per_constraint,
+        "solve_seconds": statistics.solve_time_seconds,
+        "pid": os.getpid(),
+    }
+
+
+def _job_print_ir(unit: WorkUnit, module: Module,
+                  _cache: FunctionAnalysisCache,
+                  _store: Optional[AnalysisStore]) -> Dict[str, object]:
+    """The compiled module's printed IR (cross-process determinism checks)."""
+    return {
+        "kind": "print-ir",
+        "name": unit.name,
+        "ir": print_module(module),
+        "pid": os.getpid(),
+    }
+
+
+JOBS = {
+    "aaeval": _job_aaeval,
+    "lessthan-stats": _job_lessthan_stats,
+    "print-ir": _job_print_ir,
+}
+
+#: jobs whose payload is a pure function of the unit (no timing fields) and
+#: may therefore be memoized whole at the unit level.
+CACHEABLE_KINDS = frozenset(["aaeval"])
+
+#: payload fields that describe the evaluation itself (persisted); the rest
+#: (pid, store counters, write-back entries) describe one particular run.
+_PERSISTED_FIELDS = ("kind", "name", "functions", "instructions",
+                     "module_hash", "labels", "statistics")
+
+
+def run_work_unit(unit: WorkUnit,
+                  store: Optional[AnalysisStore] = None) -> Dict[str, object]:
+    """Compile ``unit.source`` and run its job; the single worker entry point.
+
+    With a store, ``aaeval`` units are first looked up whole by source-text
+    hash (:func:`~repro.engine.store.unit_key`): a hit skips compilation and
+    analysis outright.  On a miss the job runs normally — drawing any
+    function-level entries that do exist — and the merged payload is handed
+    back for the coordinator to persist at both granularities.
+    """
+    if unit.kind not in JOBS:
+        raise KeyError("unknown work-unit kind {!r}".format(unit.kind))
+    memo_key = None
+    # Only whole-module units are memoized at the unit level: a shard
+    # (unit.functions set) evaluates a subset of the module, and persisting
+    # its payload under the unit's source key would let a later whole-module
+    # warm run pick up partial results.  Shards still share the
+    # function-level entries.
+    if store is not None and unit.kind in CACHEABLE_KINDS and unit.functions is None:
+        memo_key = unit_key(unit.kind, unit.name, unit.source, unit.labels(),
+                            unit.interprocedural)
+        cached = store.get(memo_key)
+        if cached is not None:
+            payload = dict(cached)
+            payload["store_hits"] = 1  # the one unit-level lookup that hit
+            payload["store_misses"] = 0
+            payload["new_entries"] = []
+            payload["pid"] = os.getpid()
+            return payload
+    module = compile_source(unit.source, module_name=unit.name)
+    cache = FunctionAnalysisCache()
+    payload = JOBS[unit.kind](unit, module, cache, store)
+    if memo_key is not None:
+        persisted = {field: payload[field] for field in _PERSISTED_FIELDS
+                     if field in payload}
+        payload.setdefault("new_entries", []).append((memo_key, persisted))
+    return payload
+
+
+#: read-only stores opened by this worker process, one per spec.  Reused
+#: across the units a pool worker handles — the pickle backend deserializes
+#: its whole file on open, so opening per unit would cost O(units x entries).
+#: Process-local by construction; closed implicitly at worker exit.
+_OPEN_STORES: Dict[Tuple[str, str, str], AnalysisStore] = {}
+
+
+def _readonly_store(store_spec: Tuple[str, str, str]) -> AnalysisStore:
+    store = _OPEN_STORES.get(store_spec)
+    if store is None:
+        path, version, backend = store_spec
+        store = AnalysisStore(path, version=version, backend=backend,
+                              readonly=True)
+        _OPEN_STORES[store_spec] = store
+    return store
+
+
+def execute(task: Tuple[WorkUnit, Optional[Tuple[str, str, str]]]) -> Dict[str, object]:
+    """``Pool.map`` entry point: ``(unit, store_spec)`` with the store opened
+    read-only inside the worker (the coordinator is the only writer)."""
+    unit, store_spec = task
+    if store_spec is None:
+        return run_work_unit(unit, store=None)
+    return run_work_unit(unit, store=_readonly_store(store_spec))

@@ -87,6 +87,7 @@ class FunctionAnalysisCache:
         self._module_lessthan: Dict[Tuple[Module, bool], "LessThanAnalysis"] = {}
         self._function_disambiguators: Dict[Function, "PointerDisambiguator"] = {}
         self._module_disambiguators: Dict[Tuple[Module, bool], "PointerDisambiguator"] = {}
+        self._evaluations: Dict[Tuple[Function, str], object] = {}
         self.statistics = CacheStatistics()
 
     # -- e-SSA conversion ---------------------------------------------------------
@@ -191,11 +192,50 @@ class FunctionAnalysisCache:
         self._module_disambiguators[key] = disambiguator
         return disambiguator
 
+    # -- evaluation payloads -------------------------------------------------------
+    def get_evaluation(self, function: Function, label: str) -> Optional[object]:
+        """The memoized evaluation payload of ``(function, label)``, if any.
+
+        Payloads are opaque, picklable objects (the execution engine stores
+        verdict counters plus the per-pair verdict stream).  They live beside
+        the live analysis objects so that a payload warm-loaded from a
+        persistent :class:`~repro.engine.store.AnalysisStore` short-circuits
+        the whole analysis pipeline: a hit here means neither range analysis,
+        e-SSA conversion, the constraint solve nor the O(n²) query loop runs
+        for that function.
+        """
+        cached = self._evaluations.get((function, label))
+        if cached is not None:
+            self.statistics.hits += 1
+        else:
+            self.statistics.misses += 1
+        return cached
+
+    def put_evaluation(self, function: Function, label: str, payload: object) -> None:
+        """Record the evaluation payload of ``(function, label)``.
+
+        Called both by the engine after computing a function fresh and when
+        warm-loading persisted results from an analysis store.
+        """
+        self._evaluations[(function, label)] = payload
+
+    def evaluation_count(self) -> int:
+        return len(self._evaluations)
+
     # -- invalidation -----------------------------------------------------------------
     def _drop_function_entries(self, function: Function) -> None:
+        # Live analysis objects only: evaluation payloads are content-addressed
+        # by the engine against the *pre-conversion* IR and describe the result
+        # of the full pipeline, so the cache's own e-SSA conversion (which
+        # routes through here) must not drop them.  Explicit `invalidate`
+        # (an outside IR mutation) drops them below.
         self._ranges.pop(function, None)
         self._function_lessthan.pop(function, None)
         self._function_disambiguators.pop(function, None)
+
+    def _drop_function_evaluations(self, function: Function) -> None:
+        for key in [k for k in self._evaluations if k[0] is function]:
+            del self._evaluations[key]
 
     def invalidate(self, function: Optional[Function] = None) -> None:
         """Drop cached state for ``function`` (or everything, when ``None``).
@@ -211,9 +251,11 @@ class FunctionAnalysisCache:
             self._module_lessthan.clear()
             self._function_disambiguators.clear()
             self._module_disambiguators.clear()
+            self._evaluations.clear()
             return
         self._essa.pop(function, None)
         self._drop_function_entries(function)
+        self._drop_function_evaluations(function)
         module = function.parent
         if module is not None:
             for key in [k for k in self._module_lessthan if k[0] is module]:

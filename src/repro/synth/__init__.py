@@ -21,8 +21,11 @@ from repro.synth.csmith import CsmithConfig, RandomProgramGenerator, generate_ra
 from repro.synth.workloads import (
     WorkloadProgram,
     build_spec_module,
-    spec_benchmarks,
     build_testsuite_programs,
+    build_testsuite_sources,
+    compose_source,
+    spec_benchmarks,
+    spec_sources,
 )
 from repro.synth.spec_profiles import SPEC_PROFILES, SpecProfile
 
@@ -36,7 +39,10 @@ __all__ = [
     "WorkloadProgram",
     "build_spec_module",
     "spec_benchmarks",
+    "spec_sources",
     "build_testsuite_programs",
+    "build_testsuite_sources",
+    "compose_source",
     "SPEC_PROFILES",
     "SpecProfile",
 ]

@@ -85,15 +85,18 @@ def _random_function_source(seed: int, statements: int, pointer_depth: int, suff
     return source.replace("work(", "work_{}(".format(suffix))
 
 
-def compose_program(name: str, kernel_instances: Sequence[str],
-                    random_specs: Sequence[Sequence[int]] = ()) -> WorkloadProgram:
-    """Build one benchmark module from kernel names and random-function specs.
+def compose_source(name: str, kernel_instances: Sequence[str],
+                   random_specs: Sequence[Sequence[int]] = ()) -> str:
+    """Compose one benchmark program's *source text* without compiling it.
 
-    ``random_specs`` is a sequence of ``(seed, statements, pointer_depth)`` or
-    ``(seed, statements, pointer_depth, parameter_count)`` tuples.  The
-    composed program also receives a ``main`` that does nothing (benchmarks
-    only analyse the code statically).
+    This is the coordinator-side half of :func:`compose_program`: the
+    cross-process execution engine ships source text to worker processes
+    (compiled IR does not pickle), so benchmark drivers that fan programs
+    out only need the text.  ``name`` participates for interface symmetry
+    and future per-program markers; composition itself is a pure function of
+    the kernel names and random specs.
     """
+    del name  # composition does not embed the name today
     pieces: List[str] = []
     for index, kernel in enumerate(kernel_instances):
         pieces.append(_rename_functions(KERNEL_SOURCES[kernel], kernel, "k{}".format(index)))
@@ -103,7 +106,19 @@ def compose_program(name: str, kernel_instances: Sequence[str],
         pieces.append(_random_function_source(seed, statements, pointer_depth,
                                               "r{}".format(index), parameter_count))
     pieces.append("int main() { return 0; }\n")
-    source = "\n".join(pieces)
+    return "\n".join(pieces)
+
+
+def compose_program(name: str, kernel_instances: Sequence[str],
+                    random_specs: Sequence[Sequence[int]] = ()) -> WorkloadProgram:
+    """Build one benchmark module from kernel names and random-function specs.
+
+    ``random_specs`` is a sequence of ``(seed, statements, pointer_depth)`` or
+    ``(seed, statements, pointer_depth, parameter_count)`` tuples.  The
+    composed program also receives a ``main`` that does nothing (benchmarks
+    only analyse the code statically).
+    """
+    source = compose_source(name, kernel_instances, random_specs)
     module = compile_source(source, module_name=name)
     return WorkloadProgram(name=name, source=source, module=module)
 
@@ -112,16 +127,18 @@ def compose_program(name: str, kernel_instances: Sequence[str],
 # The test-suite-like collection (Figures 8 and 11)
 # ---------------------------------------------------------------------------
 
-def build_testsuite_programs(count: int = 100, base_seed: int = 7) -> List[WorkloadProgram]:
-    """``count`` benchmark programs of (roughly) increasing size.
+def testsuite_recipes(count: int = 100, base_seed: int = 7) \
+        -> List[Tuple[str, List[str], List[Tuple[int, int, int, int]]]]:
+    """The ``(name, kernels, random_specs)`` recipe of every collection program.
 
-    Program ``i`` contains ``1 + i // 8`` kernel instances plus one random
-    function whose statement count grows with ``i``, which yields the size
-    spread the paper's Figure 8 plots on a log scale.
+    All RNG draws happen here, in one place, so the compiled
+    (:func:`build_testsuite_programs`) and source-only
+    (:func:`build_testsuite_sources`) views of the collection are guaranteed
+    to describe the same programs.
     """
     rng = random.Random(base_seed)
     pools = list(POINTER_KERNEL_POOL) + list(ALLOC_KERNEL_POOL)
-    programs: List[WorkloadProgram] = []
+    recipes: List[Tuple[str, List[str], List[Tuple[int, int, int, int]]]] = []
     for index in range(count):
         kernel_count = 1 + index // 8
         kernels = [rng.choice(pools) for _ in range(kernel_count)]
@@ -131,17 +148,38 @@ def build_testsuite_programs(count: int = 100, base_seed: int = 7) -> List[Workl
         # pointer-argument-heavy code, like a real benchmark suite does.
         parameters = 3 if index % 2 == 1 else 0
         random_specs = [(base_seed * 1000 + index, statements, 2, parameters)]
-        program = compose_program("testsuite_{:03d}".format(index), kernels, random_specs)
-        programs.append(program)
-    return programs
+        recipes.append(("testsuite_{:03d}".format(index), kernels, random_specs))
+    return recipes
+
+
+def build_testsuite_programs(count: int = 100, base_seed: int = 7) -> List[WorkloadProgram]:
+    """``count`` benchmark programs of (roughly) increasing size.
+
+    Program ``i`` contains ``1 + i // 8`` kernel instances plus one random
+    function whose statement count grows with ``i``, which yields the size
+    spread the paper's Figure 8 plots on a log scale.
+    """
+    return [compose_program(name, kernels, random_specs)
+            for name, kernels, random_specs in testsuite_recipes(count, base_seed)]
+
+
+def build_testsuite_sources(count: int = 100, base_seed: int = 7) -> List[Tuple[str, str]]:
+    """``(name, source)`` pairs of the collection, without compiling.
+
+    The execution engine's coordinator hands these straight to worker
+    processes; whichever process runs a unit pays its (one) compilation.
+    """
+    return [(name, compose_source(name, kernels, random_specs))
+            for name, kernels, random_specs in testsuite_recipes(count, base_seed)]
 
 
 # ---------------------------------------------------------------------------
 # The SPEC-like collection (Figures 9 and 10)
 # ---------------------------------------------------------------------------
 
-def build_spec_module(profile: SpecProfile) -> WorkloadProgram:
-    """Build the synthetic program standing in for one SPEC benchmark."""
+def spec_recipe(profile: SpecProfile) \
+        -> Tuple[str, List[str], List[Tuple[int, int, int, int]]]:
+    """The ``(name, kernels, random_specs)`` recipe of one SPEC-like program."""
     rng = random.Random(profile.seed)
     kernels: List[str] = []
     for _ in range(profile.pointer_kernels):
@@ -152,15 +190,31 @@ def build_spec_module(profile: SpecProfile) -> WorkloadProgram:
         (profile.seed * 100 + index, profile.random_statements, 2, profile.random_parameters)
         for index in range(profile.random_programs)
     ]
-    return compose_program("spec_" + profile.name, kernels, random_specs)
+    return "spec_" + profile.name, kernels, random_specs
+
+
+def build_spec_module(profile: SpecProfile) -> WorkloadProgram:
+    """Build the synthetic program standing in for one SPEC benchmark."""
+    return compose_program(*spec_recipe(profile))
+
+
+def _selected_profiles(names: Optional[Iterable[str]]) -> List[SpecProfile]:
+    selected = list(names) if names is not None else list(SPEC_PROFILES)
+    profiles: List[SpecProfile] = []
+    for name in selected:
+        if name not in SPEC_PROFILES:
+            raise KeyError("unknown SPEC profile {!r}".format(name))
+        profiles.append(SPEC_PROFILES[name])
+    return profiles
 
 
 def spec_benchmarks(names: Optional[Iterable[str]] = None) -> List[WorkloadProgram]:
     """Build the sixteen SPEC-like benchmark programs (or a subset)."""
-    selected = list(names) if names is not None else list(SPEC_PROFILES)
-    programs: List[WorkloadProgram] = []
-    for name in selected:
-        if name not in SPEC_PROFILES:
-            raise KeyError("unknown SPEC profile {!r}".format(name))
-        programs.append(build_spec_module(SPEC_PROFILES[name]))
-    return programs
+    return [build_spec_module(profile) for profile in _selected_profiles(names)]
+
+
+def spec_sources(names: Optional[Iterable[str]] = None) -> List[Tuple[str, str]]:
+    """``(name, source)`` pairs of the SPEC-like programs, without compiling."""
+    return [(recipe[0], compose_source(*recipe))
+            for recipe in (spec_recipe(profile)
+                           for profile in _selected_profiles(names))]

@@ -1,0 +1,129 @@
+"""Mask-passing batched queries: the chain skips already-resolved pairs."""
+
+from repro.alias import (
+    AliasAnalysis,
+    AliasAnalysisChain,
+    AliasResult,
+    BasicAliasAnalysis,
+    MemoryLocation,
+    evaluate_module,
+)
+from repro.alias.aaeval import collect_memory_locations
+from repro.core import StrictInequalityAliasAnalysis
+from repro.frontend import compile_source
+from repro.passes import FunctionAnalysisCache
+
+SOURCE = """
+int work(int *a, int n) {
+  int i;
+  int local[8];
+  for (i = 0; i < n; i++) { a[i] = a[i + 1] + local[i % 8]; }
+  return local[0];
+}
+int main() { return 0; }
+"""
+
+
+class CountingAnalysis(AliasAnalysis):
+    """Answers a fixed verdict for chosen pairs; counts every query."""
+
+    def __init__(self, name, resolved_pairs, verdict=AliasResult.NO_ALIAS):
+        self.name = name
+        self.resolved_pairs = set(resolved_pairs)
+        self.verdict = verdict
+        self.queried = []
+
+    def alias(self, loc_a, loc_b):
+        self.queried.append((loc_a, loc_b))
+        key = (loc_a.pointer.name, loc_b.pointer.name)
+        if key in self.resolved_pairs:
+            return self.verdict
+        return AliasResult.MAY_ALIAS
+
+
+def _work_locations():
+    module = compile_source(SOURCE, module_name="mask")
+    function = module.get_function("work")
+    return module, function, collect_memory_locations(function)
+
+
+def test_base_alias_many_honours_mask():
+    _module, _function, locations = _work_locations()
+    analysis = BasicAliasAnalysis()
+    mask = [(0, 1), (0, 3), (2, 3)]
+    results = list(analysis.alias_many(locations, mask=mask))
+    assert [(i, j) for i, j, _verdict in results] == mask
+    for i, j, verdict in results:
+        assert verdict is analysis.alias(locations[i], locations[j])
+
+
+def test_chain_skips_pairs_resolved_by_earlier_members():
+    _module, _function, locations = _work_locations()
+    count = len(locations)
+    all_pairs = [(i, j) for i in range(count) for j in range(i + 1, count)]
+    # The first member resolves every pair involving location 0.
+    resolved = {(locations[0].pointer.name, locations[j].pointer.name)
+                for j in range(1, count)}
+    first = CountingAnalysis("first", resolved)
+    second = CountingAnalysis("second", set())
+    chain = AliasAnalysisChain([first, second], name="chain")
+
+    verdicts = list(chain.alias_many(locations))
+    assert [(i, j) for i, j, _verdict in verdicts] == all_pairs
+    assert len(first.queried) == len(all_pairs)
+    # The second member was only asked about pairs the first left unresolved.
+    assert len(second.queried) == len(all_pairs) - (count - 1)
+
+
+def test_chain_mask_verdicts_match_pairwise_alias():
+    module, function, locations = _work_locations()
+    cache = FunctionAnalysisCache()
+    ba = BasicAliasAnalysis()
+    lt = StrictInequalityAliasAnalysis(module, cache=cache)
+    chain = AliasAnalysisChain([ba, lt], name="ba+lt")
+    chain.prepare_function(function)
+    batched = list(chain.alias_many(locations))
+    for i, j, verdict in batched:
+        assert verdict is chain.alias(locations[i], locations[j]), (i, j)
+
+
+def test_chain_accepts_caller_mask():
+    module, function, locations = _work_locations()
+    cache = FunctionAnalysisCache()
+    chain = AliasAnalysisChain(
+        [BasicAliasAnalysis(),
+         StrictInequalityAliasAnalysis(module, cache=cache)],
+        name="ba+lt")
+    chain.prepare_function(function)
+    mask = [(0, 2), (1, 4), (3, 5)]
+    results = list(chain.alias_many(locations, mask=mask))
+    assert [(i, j) for i, j, _verdict in results] == mask
+    for i, j, verdict in results:
+        assert verdict is chain.alias(locations[i], locations[j])
+
+
+def test_sraa_disambiguate_pairs_subset_matches_full():
+    module, function, locations = _work_locations()
+    cache = FunctionAnalysisCache()
+    lt = StrictInequalityAliasAnalysis(module, cache=cache)
+    lt.prepare_function(function)
+    full = {(i, j): verdict for i, j, verdict in lt.alias_many(locations)}
+    subset = [(i, j) for (i, j) in full if (i + j) % 2 == 0]
+    masked = list(lt.alias_many(locations, mask=subset))
+    assert [(i, j) for i, j, _verdict in masked] == subset
+    for i, j, verdict in masked:
+        assert verdict is full[(i, j)]
+
+
+def test_chain_evaluation_counts_unchanged_by_mask_passing():
+    """Whole-module chain evaluation equals member-by-member merging."""
+    module, _function, _locations = _work_locations()
+    cache = FunctionAnalysisCache()
+    ba = BasicAliasAnalysis()
+    lt = StrictInequalityAliasAnalysis(module, cache=cache)
+    chain = AliasAnalysisChain([ba, lt], name="ba+lt")
+    eval_chain = evaluate_module(module, chain)
+    eval_ba = evaluate_module(module, ba)
+    eval_lt = evaluate_module(module, lt)
+    assert eval_chain.total_queries == eval_ba.total_queries == eval_lt.total_queries
+    assert eval_chain.no_alias >= max(eval_ba.no_alias, eval_lt.no_alias)

@@ -1,0 +1,52 @@
+"""Lossless aggregation of per-shard counters on the coordinator."""
+
+from repro.alias import AliasEvaluation, AliasResult
+from repro.core.disambiguation import DisambiguationStatistics
+
+
+def _statistics(queries, truncated, largest, memoized):
+    statistics = DisambiguationStatistics()
+    statistics.queries = queries
+    statistics.truncated_classes = truncated
+    statistics.largest_class = largest
+    statistics.memoized_values = memoized
+    return statistics
+
+
+def test_disambiguation_statistics_merge_sums_counters_and_maxes_largest():
+    merged = _statistics(10, 1, 5, 3).merge(_statistics(7, 2, 9, 4))
+    assert merged.queries == 17
+    assert merged.truncated_classes == 3
+    assert merged.largest_class == 9  # max, not sum: it is itself a maximum
+    assert merged.memoized_values == 7
+
+
+def test_disambiguation_statistics_merge_is_commutative():
+    a = _statistics(3, 0, 12, 1)
+    b = _statistics(5, 4, 2, 9)
+    assert a.merge(b).as_dict() == b.merge(a).as_dict()
+
+
+def test_disambiguation_statistics_dict_round_trip():
+    original = _statistics(10, 1, 5, 3)
+    rebuilt = DisambiguationStatistics.from_dict(original.as_dict())
+    assert rebuilt.as_dict() == original.as_dict()
+    assert DisambiguationStatistics.from_dict({}).as_dict() == \
+        DisambiguationStatistics().as_dict()
+
+
+def test_alias_evaluation_dict_round_trip():
+    evaluation = AliasEvaluation()
+    evaluation.no_alias = 4
+    evaluation.may_alias = 2
+    evaluation.partial_alias = 1
+    evaluation.must_alias = 3
+    rebuilt = AliasEvaluation.from_dict(evaluation.as_dict())
+    assert rebuilt.as_dict() == evaluation.as_dict()
+    assert rebuilt.total_queries == 10
+
+
+def test_alias_result_codes_round_trip():
+    for result in AliasResult:
+        assert AliasResult.from_code(result.code) is result
+    assert len({result.code for result in AliasResult}) == len(list(AliasResult))

@@ -1,0 +1,248 @@
+"""Tests for the engine driver: serial fallback, sharding, store wiring."""
+
+import pytest
+
+from repro.engine import (
+    AnalysisStore,
+    default_store_path,
+    default_workers,
+    evaluate_module,
+    evaluate_module_parallel,
+    run_workload,
+)
+from repro.frontend import compile_source
+from repro.passes import FunctionAnalysisCache
+
+#: a small program with real pointer arithmetic so LT resolves something.
+SOURCE = """
+int fill(int *a, int n) {
+  int i;
+  for (i = 0; i < n; i++) { a[i] = i; }
+  return 0;
+}
+
+int shift(int *v, int n) {
+  int i; int s = 0;
+  for (i = 0; i < n; i++) { s += v[i] + v[i + 1]; }
+  return s;
+}
+
+int main() { return 0; }
+"""
+
+SPECS = (("basicaa",), ("lt",), ("basicaa", "lt"))
+UNITS = [("prog_a", SOURCE), ("prog_b", SOURCE)]
+
+
+def _labels(results):
+    return [result.payload["labels"] for result in results]
+
+
+def test_serial_run_workload_shape():
+    results = run_workload(UNITS, specs=SPECS, workers=0)
+    assert [result.name for result in results] == ["prog_a", "prog_b"]
+    for result in results:
+        assert sorted(result.labels) == ["basicaa", "basicaa+lt", "lt"]
+        chain = result.evaluation("basicaa+lt")
+        assert chain.total_queries > 0
+        # The chain is at least as precise as either member.
+        assert chain.no_alias >= result.evaluation("basicaa").no_alias
+        assert chain.no_alias >= result.evaluation("lt").no_alias
+        assert "fill" in result.verdicts("lt")
+
+
+def test_parallel_matches_serial():
+    serial = run_workload(UNITS, specs=SPECS, workers=0)
+    parallel = run_workload(UNITS, specs=SPECS, workers=2)
+    assert _labels(serial) == _labels(parallel)
+
+
+def test_evaluate_module_parallel_matches_serial():
+    serial = evaluate_module_parallel("prog", SOURCE, specs=SPECS, workers=0)
+    sharded = evaluate_module_parallel("prog", SOURCE, specs=SPECS, workers=2)
+    for label in ("basicaa", "lt", "basicaa+lt"):
+        assert sharded.verdicts(label) == serial.verdicts(label)
+        assert sharded.evaluation(label).as_dict() == serial.evaluation(label).as_dict()
+    assert sorted(sharded.payload["functions"]) == sorted(serial.payload["functions"])
+
+
+def test_evaluate_module_in_process_shares_cache():
+    module = compile_source(SOURCE, module_name="prog")
+    cache = FunctionAnalysisCache()
+    first = evaluate_module(module, specs=(("lt",),), cache=cache)
+    # Second evaluation over the same cache serves memoized payloads: no new
+    # analyses are built, verdicts are unchanged.
+    functions_before = cache.cached_functions()
+    second = evaluate_module(module, specs=(("lt",),), cache=cache)
+    assert cache.cached_functions() == functions_before
+    assert second.evaluation("lt").as_dict() == first.evaluation("lt").as_dict()
+
+
+def test_store_round_trip_serial(tmp_path):
+    store_path = str(tmp_path / "store.sqlite")
+    cold = run_workload(UNITS, specs=SPECS, workers=0, store=store_path)
+    warm = run_workload(UNITS, specs=SPECS, workers=0, store=store_path)
+    assert _labels(cold) == _labels(warm)
+    assert all(result.store_misses > 0 for result in cold)
+    assert all(result.store_hits > 0 for result in warm)
+    assert all(result.store_misses == 0 for result in warm)
+
+
+def test_store_round_trip_parallel(tmp_path):
+    store_path = str(tmp_path / "store.sqlite")
+    cold = run_workload(UNITS, specs=SPECS, workers=2, store=store_path)
+    warm = run_workload(UNITS, specs=SPECS, workers=2, store=store_path)
+    assert _labels(cold) == _labels(warm)
+    assert all(result.store_hits > 0 for result in warm)
+
+
+def test_partial_warmth_draws_function_entries(tmp_path):
+    """A new module reusing known functions misses at the unit level but
+    still draws the per-function entries it shares with an earlier run."""
+    store_path = str(tmp_path / "store.sqlite")
+    run_workload([("prog_a", SOURCE)], specs=(("basicaa",),), workers=0,
+                 store=store_path)
+    # Same source under a new unit name: unit-level memo misses (the name is
+    # part of the key) but every function-level entry hits.
+    warm = run_workload([("prog_c", SOURCE)], specs=(("basicaa",),), workers=0,
+                        store=store_path)
+    assert warm[0].store_hits > 0
+    reference = run_workload([("prog_c", SOURCE)], specs=(("basicaa",),), workers=0)
+    assert warm[0].payload["labels"] == reference[0].payload["labels"]
+
+
+def test_sharded_run_does_not_poison_whole_unit_memo(tmp_path):
+    """Shard payloads must never be stored under the whole-unit key: a warm
+    whole-module run after a sharded one has to see complete results."""
+    store_path = str(tmp_path / "store.sqlite")
+    evaluate_module_parallel("prog", SOURCE, specs=SPECS, workers=2,
+                             store=store_path)
+    warm = run_workload([("prog", SOURCE)], specs=SPECS, workers=0,
+                        store=store_path)[0]
+    reference = run_workload([("prog", SOURCE)], specs=SPECS, workers=0,
+                             store=False)[0]
+    assert warm.payload["labels"] == reference.payload["labels"]
+
+
+def test_store_false_disables_env_store(tmp_path, monkeypatch):
+    store_path = tmp_path / "env-store.sqlite"
+    monkeypatch.setenv("REPRO_STORE", str(store_path))
+    results = run_workload([("prog_a", SOURCE)], specs=(("basicaa",),),
+                           store=False)
+    assert results[0].store_hits == 0
+    assert results[0].store_misses == 0
+    assert not store_path.exists()
+
+
+def test_evaluate_module_skips_store_for_converted_modules(tmp_path):
+    # Store keys content-address pre-conversion IR; a module converted
+    # outside the engine must not grow an incompatible key family.
+    store_path = str(tmp_path / "store.sqlite")
+    module = compile_source(SOURCE, module_name="prog")
+    first = evaluate_module(module, specs=(("lt",),), store=store_path)
+    assert first.store_misses > 0  # pristine module: persisted normally
+    converted = compile_source(SOURCE, module_name="prog")
+    evaluate_module(converted, specs=(("lt",),), store=False)  # converts it
+    assert any(getattr(f, "essa_form", False) for f in converted.defined_functions())
+    with AnalysisStore(store_path) as store:
+        entries_before = len(store)
+        result = evaluate_module(converted, specs=(("lt",),), store=store)
+        assert result.store_hits == 0 and result.store_misses == 0
+        assert len(store) == entries_before
+        assert result.evaluation("lt").as_dict() == first.evaluation("lt").as_dict()
+
+
+def test_interprocedural_modes_do_not_share_entries(tmp_path):
+    """Intra- and interprocedural LT produce different facts for the same
+    IR; neither the store nor the cache may serve one mode's payloads to
+    the other."""
+    store_path = str(tmp_path / "store.sqlite")
+    run_workload([("prog_a", SOURCE)], specs=(("lt",),), workers=0,
+                 store=store_path, interprocedural=False)
+    cross = run_workload([("prog_a", SOURCE)], specs=(("lt",),), workers=0,
+                         store=store_path, interprocedural=True)[0]
+    assert cross.store_hits == 0  # every key family is mode-specific
+    reference = run_workload([("prog_a", SOURCE)], specs=(("lt",),), workers=0,
+                             store=False, interprocedural=True)[0]
+    assert cross.payload["labels"] == reference.payload["labels"]
+    # One in-process cache used under both modes keeps them apart too.
+    module = compile_source(SOURCE, module_name="prog_a")
+    cache = FunctionAnalysisCache()
+    intra = evaluate_module(module, specs=(("lt",),), cache=cache,
+                            store=False, interprocedural=False)
+    inter = evaluate_module(module, specs=(("lt",),), cache=cache,
+                            store=False, interprocedural=True)
+    fresh = evaluate_module(compile_source(SOURCE, module_name="prog_a"),
+                            specs=(("lt",),), store=False, interprocedural=True)
+    assert inter.evaluation("lt").as_dict() == fresh.evaluation("lt").as_dict()
+    assert intra.verdicts("lt") is not None  # both modes evaluated
+
+
+def test_memoize_evaluations_off_reruns_queries():
+    module = compile_source(SOURCE, module_name="prog")
+    cache = FunctionAnalysisCache()
+    first = evaluate_module(module, specs=(("lt",),), cache=cache,
+                            store=False, memoize_evaluations=False)
+    second = evaluate_module(module, specs=(("lt",),), cache=cache,
+                             store=False, memoize_evaluations=False)
+    # No payloads were memoized — each call re-ran the query loop over the
+    # shared (memoized) analyses — and the results agree.
+    assert cache.evaluation_count() == 0
+    assert second.evaluation("lt").as_dict() == first.evaluation("lt").as_dict()
+
+
+def test_store_version_mismatch_recomputes(tmp_path):
+    store_path = str(tmp_path / "store.sqlite")
+    with AnalysisStore(store_path, version="old") as store:
+        run_workload(UNITS, specs=SPECS, workers=0, store=store)
+    with AnalysisStore(store_path, version="new") as store:
+        results = run_workload(UNITS, specs=SPECS, workers=0, store=store)
+        assert all(result.store_hits == 0 for result in results)
+        assert all(result.store_misses > 0 for result in results)
+
+
+def test_unit_result_statistics_exposed():
+    results = run_workload(UNITS, specs=SPECS, workers=0)
+    statistics = results[0].statistics
+    assert statistics.queries > 0
+
+
+def test_env_defaults(monkeypatch):
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    monkeypatch.delenv("REPRO_STORE", raising=False)
+    assert default_workers() == 0
+    assert default_store_path() is None
+    monkeypatch.setenv("REPRO_WORKERS", "3")
+    monkeypatch.setenv("REPRO_STORE", "/tmp/some-store.sqlite")
+    assert default_workers() == 3
+    assert default_store_path() == "/tmp/some-store.sqlite"
+    monkeypatch.setenv("REPRO_WORKERS", "not-a-number")
+    assert default_workers() == 0
+
+
+def test_env_store_is_honoured(tmp_path, monkeypatch):
+    store_path = str(tmp_path / "env-store.sqlite")
+    monkeypatch.setenv("REPRO_STORE", store_path)
+    cold = run_workload([("prog_a", SOURCE)], specs=(("basicaa",),))
+    warm = run_workload([("prog_a", SOURCE)], specs=(("basicaa",),))
+    assert cold[0].store_misses > 0
+    assert warm[0].store_hits > 0
+    assert _labels(cold) == _labels(warm)
+
+
+def test_lessthan_stats_job():
+    results = run_workload([("prog_a", SOURCE)], kind="lessthan-stats", workers=0)
+    payload = results[0].payload
+    assert payload["constraints"] > 0
+    assert payload["worklist_pops"] > 0
+    assert payload["instructions"] > 0
+
+
+def test_unknown_kind_raises():
+    with pytest.raises(KeyError):
+        run_workload([("prog_a", SOURCE)], kind="no-such-job", workers=0)
+
+
+def test_rejects_unbuildable_units():
+    with pytest.raises(TypeError):
+        run_workload([42], workers=0)

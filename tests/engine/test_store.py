@@ -1,0 +1,123 @@
+"""Tests for the persistent analysis store (backends, keys, versioning)."""
+
+import os
+
+import pytest
+
+from repro.engine.store import (
+    STORE_VERSION,
+    AnalysisStore,
+    function_key,
+    text_hash,
+    unit_key,
+)
+
+
+PAYLOAD = {"counts": {"no_alias": 3, "may_alias": 7}, "codes": "NNNMMMMMMM"}
+
+
+@pytest.fixture(params=["sqlite", "pickle"])
+def backend(request):
+    return request.param
+
+
+def test_round_trip_and_reopen(tmp_path, backend):
+    path = str(tmp_path / "store.bin")
+    with AnalysisStore(path, backend=backend) as store:
+        assert store.get("k1") is None
+        store.put("k1", PAYLOAD)
+        store.put_many([("k2", {"codes": "M"}), ("k3", {"codes": "N"})])
+        assert store.get("k1") == PAYLOAD
+        assert len(store) == 3
+    # A fresh process (modelled by a fresh object) sees the same entries.
+    with AnalysisStore(path, backend=backend) as reopened:
+        assert reopened.get("k2") == {"codes": "M"}
+        assert sorted(reopened.keys()) == ["k1", "k2", "k3"]
+
+
+def test_hit_miss_counters(tmp_path, backend):
+    with AnalysisStore(str(tmp_path / "s.bin"), backend=backend) as store:
+        store.put("k", PAYLOAD)
+        store.get("k")
+        store.get("absent")
+        assert (store.hits, store.misses) == (1, 1)
+
+
+def test_version_mismatch_invalidates(tmp_path, backend):
+    path = str(tmp_path / "store.bin")
+    with AnalysisStore(path, version="v1", backend=backend) as store:
+        store.put("k1", PAYLOAD)
+    # Reopening with a newer version drops every stale entry and restamps.
+    with AnalysisStore(path, version="v2", backend=backend) as upgraded:
+        assert upgraded.get("k1") is None
+        assert len(upgraded) == 0
+        upgraded.put("k1", {"codes": "X"})
+    with AnalysisStore(path, version="v2", backend=backend) as reopened:
+        assert reopened.get("k1") == {"codes": "X"}
+
+
+def test_readonly_missing_file_is_empty(tmp_path, backend):
+    path = str(tmp_path / "missing.bin")
+    with AnalysisStore(path, backend=backend, readonly=True) as store:
+        assert store.get("anything") is None
+        assert len(store) == 0
+    assert not os.path.exists(path)
+
+
+def test_readonly_rejects_writes_and_version_mismatch_misses(tmp_path, backend):
+    path = str(tmp_path / "store.bin")
+    with AnalysisStore(path, version="v1", backend=backend) as store:
+        store.put("k1", PAYLOAD)
+    with AnalysisStore(path, backend=backend, readonly=True, version="v1") as reader:
+        assert reader.get("k1") == PAYLOAD
+        with pytest.raises(RuntimeError):
+            reader.put("k2", PAYLOAD)
+    # A read-only store of the wrong version answers misses but must not
+    # clear entries it cannot own.
+    with AnalysisStore(path, backend=backend, readonly=True, version="v2") as reader:
+        assert reader.get("k1") is None
+    with AnalysisStore(path, backend=backend, readonly=True, version="v1") as reader:
+        assert reader.get("k1") == PAYLOAD
+
+
+def test_default_version_is_store_version(tmp_path):
+    store = AnalysisStore(str(tmp_path / "s.sqlite"))
+    assert store.version == STORE_VERSION
+    store.close()
+
+
+def test_backend_selection_by_suffix(tmp_path):
+    pickle_store = AnalysisStore(str(tmp_path / "s.pkl"))
+    sqlite_store = AnalysisStore(str(tmp_path / "s.sqlite"))
+    assert pickle_store.backend_name == "pickle"
+    assert sqlite_store.backend_name == "sqlite"
+    pickle_store.close()
+    sqlite_store.close()
+
+
+def test_backend_selection_by_environment(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_STORE_BACKEND", "pickle")
+    store = AnalysisStore(str(tmp_path / "s.db"))
+    assert store.backend_name == "pickle"
+    store.close()
+
+
+def test_function_key_sensitivity():
+    base = function_key("lt", "define i32 @f()", "mhash")
+    assert function_key("basicaa", "define i32 @f()", "mhash") != base
+    assert function_key("lt", "define i32 @g()", "mhash") != base
+    assert function_key("lt", "define i32 @f()", "other") != base
+    assert function_key("lt", "define i32 @f()", "mhash") == base
+
+
+def test_unit_key_sensitivity():
+    base = unit_key("aaeval", "p", "int main() {}", ["lt"], True)
+    assert unit_key("aaeval", "p", "int main() {}", ["lt"], False) != base
+    assert unit_key("aaeval", "p", "int main() { return 0; }", ["lt"], True) != base
+    assert unit_key("aaeval", "p", "int main() {}", ["lt", "basicaa"], True) != base
+    assert unit_key("aaeval", "p", "int main() {}", ["lt"], True) == base
+
+
+def test_text_hash_is_stable():
+    assert text_hash("abc") == text_hash("abc")
+    assert text_hash("abc") != text_hash("abd")

@@ -110,3 +110,36 @@ def test_cache_statistics_dict():
     assert payload["misses"] >= 1
     assert payload["hits"] >= 1
     assert 0.0 <= payload["hit_ratio"] <= 1.0
+
+
+def test_evaluation_payloads_round_trip():
+    module, function = build_two_index_loop_module()
+    cache = FunctionAnalysisCache()
+    assert cache.get_evaluation(function, "lt") is None
+    payload = {"counts": {"no_alias": 1}, "codes": "N"}
+    cache.put_evaluation(function, "lt", payload)
+    assert cache.get_evaluation(function, "lt") is payload
+    assert cache.get_evaluation(function, "basicaa") is None
+    assert cache.evaluation_count() == 1
+
+
+def test_evaluation_payloads_survive_essa_conversion():
+    # Payloads are content-addressed against pre-conversion IR by the engine
+    # and describe the post-pipeline result, so the cache's own conversion
+    # must not drop them.
+    module, function = build_two_index_loop_module()
+    cache = FunctionAnalysisCache()
+    cache.put_evaluation(function, "lt", {"codes": "N"})
+    cache.ensure_essa(function)
+    assert cache.get_evaluation(function, "lt") == {"codes": "N"}
+
+
+def test_invalidate_drops_evaluation_payloads():
+    module, function = build_two_index_loop_module()
+    cache = FunctionAnalysisCache()
+    cache.put_evaluation(function, "lt", {"codes": "N"})
+    cache.invalidate(function)
+    assert cache.get_evaluation(function, "lt") is None
+    cache.put_evaluation(function, "basicaa", {"codes": "M"})
+    cache.invalidate()
+    assert cache.evaluation_count() == 0

@@ -55,3 +55,16 @@ def test_print_table_with_heterogeneous_rows(capsys):
 def test_print_table_empty(capsys):
     harness.print_table("empty", [])
     assert "(no rows)" in capsys.readouterr().out
+
+
+def test_write_results_is_atomic_and_leaves_no_temp_files(tmp_path, monkeypatch):
+    monkeypatch.setattr(harness, "RESULTS_DIR", str(tmp_path))
+    harness.write_results("atomic", HETEROGENEOUS_ROWS)
+    # Concurrent writers rename distinct temp files into place; after a
+    # write, only the final CSV remains.
+    assert sorted(os.listdir(str(tmp_path))) == ["atomic.csv"]
+    # Overwriting is a whole-file replacement, not an in-place truncate.
+    harness.write_results("atomic", HETEROGENEOUS_ROWS[:1])
+    with open(str(tmp_path / "atomic.csv"), newline="", encoding="utf-8") as handle:
+        rows = list(csv.DictReader(handle))
+    assert len(rows) == 1
