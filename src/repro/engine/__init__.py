@@ -24,7 +24,13 @@ per-pair verdicts; the engine records the verdict streams precisely so that
 this can be asserted, not assumed.
 """
 
-from repro.engine.store import AnalysisStore, STORE_VERSION, function_key, text_hash
+from repro.engine.store import (
+    AnalysisStore,
+    STORE_VERSION,
+    default_store_max_bytes,
+    function_key,
+    text_hash,
+)
 from repro.engine.workunit import DEFAULT_SPECS, Scheduler, WorkUnit, spec_label
 from repro.engine.worker import (
     build_analysis,
@@ -43,6 +49,7 @@ from repro.engine.driver import (
 __all__ = [
     "AnalysisStore",
     "STORE_VERSION",
+    "default_store_max_bytes",
     "function_key",
     "text_hash",
     "DEFAULT_SPECS",

@@ -5,7 +5,12 @@ Public API:
 * :func:`run_workload` — evaluate a list of benchmark programs, one work
   unit per program, fanned out over ``multiprocessing`` workers (or run
   in-process when ``workers <= 1`` — the serial fallback needs no
-  subprocesses, which keeps the tier-1 test suite self-contained).
+  subprocesses, which keeps the tier-1 test suite self-contained).  The
+  pooled path is a *streaming* driver: shard payloads are consumed with
+  ``imap_unordered`` as they land, store write-back overlaps with
+  still-running shards, an optional ``on_result`` observer sees every
+  result immediately, and a post-merge sort on the input index restores
+  deterministic output order.
 * :func:`evaluate_module_parallel` — shard *one* module's functions across
   workers; every worker compiles the same source (bit-identical IR, since
   the frontend and mem2reg are deterministic) and evaluates only its shard.
@@ -18,7 +23,9 @@ behaviour without code changes:
 
 * ``REPRO_WORKERS`` — worker-process count (``0``/unset = serial).
 * ``REPRO_STORE`` — path of the persistent analysis store (unset = no
-  persistence); ``REPRO_STORE_BACKEND`` may force ``sqlite`` or ``pickle``.
+  persistence); ``REPRO_STORE_BACKEND`` may force ``sqlite`` or ``pickle``;
+  ``REPRO_STORE_MAX_MB`` bounds the store's payload footprint (oldest
+  generations are swept after each write batch).
 
 Workers only ever *read* the store; freshly computed entries return to the
 coordinator inside each payload and are written back here, keeping the
@@ -161,38 +168,60 @@ def _resolve_store(store: Union[None, bool, str, AnalysisStore]) \
     return AnalysisStore(str(store)), True
 
 
+def _write_back(store: Optional[AnalysisStore],
+                payload: Dict[str, object]) -> None:
+    """Persist one payload's freshly computed entries (coordinator-side)."""
+    entries = payload.pop("new_entries", None)
+    if store is not None and not store.readonly and entries:
+        store.put_many(entries)
+
+
 def _run_units(units: List[WorkUnit], workers: int,
                store: Optional[AnalysisStore],
-               max_tasks_per_child: Optional[int] = None) -> List[Dict[str, object]]:
-    """Execute ``units`` (serial or pooled) and write new entries back."""
+               max_tasks_per_child: Optional[int] = None,
+               on_payload=None) -> List[Dict[str, object]]:
+    """Execute ``units`` (serial or streamed over a pool).
+
+    The pooled path streams: results are consumed with ``imap_unordered``
+    as workers finish, so store write-back (and the caller's ``on_payload``
+    observer) overlaps with still-in-flight shards instead of waiting for
+    the slowest one.  Each task carries its input index and the collected
+    results are sorted by it afterwards, so the returned payload order is
+    deterministic — identical to the serial path — regardless of worker
+    scheduling.
+    """
     if workers <= 1 or len(units) <= 1:
-        payloads = [worker_module.run_work_unit(unit, store=store)
-                    for unit in units]
-    else:
-        store_spec = None
-        if store is not None:
-            store_spec = (store.path, store.version, store.backend_name)
-        context = multiprocessing.get_context(_start_method())
-        pool = context.Pool(processes=workers,
-                            initializer=worker_module.initialize_worker,
-                            initargs=(_source_root(),),
-                            maxtasksperchild=max_tasks_per_child)
-        try:
-            payloads = pool.map(worker_module.execute,
-                                [(unit, store_spec) for unit in units],
-                                chunksize=1)
-        finally:
-            pool.close()
-            pool.join()
-    if store is not None and not store.readonly:
-        entries: Dict[str, object] = {}
-        for payload in payloads:
-            for key, record in payload.get("new_entries", []):
-                entries[key] = record
-        store.put_many(entries.items())
-    for payload in payloads:
-        payload.pop("new_entries", None)
-    return payloads
+        payloads = []
+        for unit in units:
+            payload = worker_module.run_work_unit(unit, store=store)
+            _write_back(store, payload)
+            payloads.append(payload)
+            if on_payload is not None:
+                on_payload(payload)
+        return payloads
+    store_spec = None
+    if store is not None:
+        store_spec = (store.path, store.version, store.backend_name)
+    context = multiprocessing.get_context(_start_method())
+    pool = context.Pool(processes=workers,
+                        initializer=worker_module.initialize_worker,
+                        initargs=(_source_root(),),
+                        maxtasksperchild=max_tasks_per_child)
+    arrived: List[Tuple[int, Dict[str, object]]] = []
+    try:
+        tasks = [(index, unit, store_spec)
+                 for index, unit in enumerate(units)]
+        for index, payload in pool.imap_unordered(
+                worker_module.execute_indexed, tasks, chunksize=1):
+            _write_back(store, payload)
+            arrived.append((index, payload))
+            if on_payload is not None:
+                on_payload(payload)
+    finally:
+        pool.close()
+        pool.join()
+    arrived.sort(key=lambda item: item[0])
+    return [payload for _index, payload in arrived]
 
 
 def run_workload(units: Sequence[UnitLike], kind: str = "aaeval",
@@ -200,7 +229,8 @@ def run_workload(units: Sequence[UnitLike], kind: str = "aaeval",
                  workers: Optional[int] = None,
                  store: Union[None, bool, str, AnalysisStore] = None,
                  interprocedural: bool = True,
-                 max_tasks_per_child: Optional[int] = None) -> List[UnitResult]:
+                 max_tasks_per_child: Optional[int] = None,
+                 on_result=None) -> List[UnitResult]:
     """Evaluate one work unit per benchmark program, possibly in parallel.
 
     ``units`` may be ``WorkUnit`` objects, ``(name, source)`` tuples or
@@ -208,12 +238,21 @@ def run_workload(units: Sequence[UnitLike], kind: str = "aaeval",
     Results come back in input order regardless of worker scheduling.
     ``store=None`` defers to ``REPRO_STORE``; pass ``store=False`` to force
     a persistence-free run (e.g. a timing baseline).
+
+    ``on_result`` streams: it is called with each :class:`UnitResult` as the
+    unit lands (arrival order under a pool — only the *returned* list is
+    input-ordered), letting a harness write rows while later shards are
+    still being evaluated.
     """
     work = _normalize_units(units, kind, specs, interprocedural)
     worker_count = default_workers() if workers is None else workers
     store_obj, owned = _resolve_store(store)
+    on_payload = None
+    if on_result is not None:
+        on_payload = lambda payload: on_result(UnitResult(payload))
     try:
-        payloads = _run_units(work, worker_count, store_obj, max_tasks_per_child)
+        payloads = _run_units(work, worker_count, store_obj,
+                              max_tasks_per_child, on_payload=on_payload)
     finally:
         if owned and store_obj is not None:
             store_obj.close()

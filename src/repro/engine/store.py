@@ -28,6 +28,13 @@ clears itself on mismatch, so stale results can never leak into a run of
 newer code.  Workers open the store read-only; freshly computed payloads
 travel back to the coordinator inside the shard result and are written by
 the coordinator alone, which keeps the writer count at one.
+
+Growth is managed: every entry records its pickled size and the store
+*generation* it was written in (the generation counter advances on each
+writable open), so long-lived stores can be swept with
+:meth:`AnalysisStore.evict` — oldest generations go first, deterministically
+— down to a byte budget.  Set ``REPRO_STORE_MAX_MB`` to have every write
+batch enforce the budget automatically.
 """
 
 from __future__ import annotations
@@ -45,7 +52,20 @@ except ImportError:  # pragma: no cover
 #: bump when the analysis pipeline's semantics or the key derivation change
 #: in a way that makes previously persisted entries stale or unreachable.
 #: v2: function-level keys encode the interprocedural mode.
-STORE_VERSION = "aaeval-2"
+#: v3: entries carry generation and size columns (growth management).
+STORE_VERSION = "aaeval-3"
+
+
+def default_store_max_bytes() -> Optional[int]:
+    """The byte budget requested through ``REPRO_STORE_MAX_MB`` (None = unbounded)."""
+    raw = os.environ.get("REPRO_STORE_MAX_MB", "").strip()
+    if not raw:
+        return None
+    try:
+        megabytes = float(raw)
+    except ValueError:
+        return None
+    return int(megabytes * 1024 * 1024) if megabytes > 0 else None
 
 
 def function_key(label: str, function_text: str, module_text_hash: str = "") -> str:
@@ -111,8 +131,17 @@ class _SqliteBackend:
         self._connection = sqlite3.connect(path)
         self._connection.execute(
             "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)")
+        # Pre-v3 stores lack the generation/size columns; the version bump
+        # would clear them anyway, so the old table is simply dropped.
+        columns = [row[1] for row in
+                   self._connection.execute("PRAGMA table_info(entries)")]
+        if columns and "generation" not in columns:
+            self._connection.execute("DROP TABLE entries")
         self._connection.execute(
-            "CREATE TABLE IF NOT EXISTS entries (key TEXT PRIMARY KEY, payload BLOB)")
+            "CREATE TABLE IF NOT EXISTS entries ("
+            "key TEXT PRIMARY KEY, payload BLOB, "
+            "generation INTEGER NOT NULL DEFAULT 0, "
+            "size INTEGER NOT NULL DEFAULT 0)")
         self._connection.commit()
 
     def get_meta(self, key: str) -> Optional[str]:
@@ -140,10 +169,12 @@ class _SqliteBackend:
             return None
         return bytes(row[0]) if row else None
 
-    def put_many(self, items: Iterable[Tuple[str, bytes]]) -> None:
+    def put_many(self, items: Iterable[Tuple[str, bytes, int]]) -> None:
         self._connection.executemany(
-            "INSERT OR REPLACE INTO entries (key, payload) VALUES (?, ?)",
-            list(items))
+            "INSERT OR REPLACE INTO entries (key, payload, generation, size) "
+            "VALUES (?, ?, ?, ?)",
+            [(key, blob, generation, len(blob))
+             for key, blob, generation in items])
         self._connection.commit()
 
     def keys(self) -> List[str]:
@@ -154,6 +185,33 @@ class _SqliteBackend:
                     self._connection.execute("SELECT key FROM entries")]
         except sqlite3.OperationalError:
             return []
+
+    def size_bytes(self) -> int:
+        if self._connection is None:
+            return 0
+        try:
+            row = self._connection.execute(
+                "SELECT COALESCE(SUM(size), 0) FROM entries").fetchone()
+        except sqlite3.OperationalError:
+            return 0
+        return int(row[0])
+
+    def entry_info(self) -> List[Tuple[str, int, int]]:
+        """``(key, generation, size)`` triples, oldest generation first."""
+        if self._connection is None:
+            return []
+        try:
+            return [(row[0], int(row[1]), int(row[2])) for row in
+                    self._connection.execute(
+                        "SELECT key, generation, size FROM entries "
+                        "ORDER BY generation, key")]
+        except sqlite3.OperationalError:
+            return []
+
+    def delete_many(self, keys: Sequence[str]) -> None:
+        self._connection.executemany(
+            "DELETE FROM entries WHERE key = ?", [(key,) for key in keys])
+        self._connection.commit()
 
     def clear(self) -> None:
         self._connection.execute("DELETE FROM entries")
@@ -166,25 +224,34 @@ class _SqliteBackend:
 
 
 class _PickleBackend:
-    """A pickled ``{meta: ..., entries: ...}`` dict, replaced atomically."""
+    """A pickled ``{meta: ..., entries: ...}`` dict, replaced atomically.
+
+    Entry values are ``(blob, generation)`` pairs; pre-v3 files holding bare
+    blobs are coerced to generation 0 on load (the version bump clears them
+    anyway).
+    """
 
     name = "pickle"
 
     def __init__(self, path: str, readonly: bool = False) -> None:
         self.path = path
         self.readonly = readonly
+        self._dirty = False
         self._meta: Dict[str, str] = {}
-        self._entries: Dict[str, bytes] = {}
+        self._entries: Dict[str, Tuple[bytes, int]] = {}
         if os.path.exists(path):
             with open(path, "rb") as handle:
                 data = pickle.load(handle)
             self._meta = dict(data.get("meta", {}))
-            self._entries = dict(data.get("entries", {}))
+            self._entries = {
+                key: value if isinstance(value, tuple) else (value, 0)
+                for key, value in dict(data.get("entries", {})).items()}
         elif not readonly:
             directory = os.path.dirname(os.path.abspath(path))
             os.makedirs(directory, exist_ok=True)
 
     def _flush(self) -> None:
+        self._dirty = False
         tmp_path = "{}.tmp.{}".format(self.path, os.getpid())
         with open(tmp_path, "wb") as handle:
             pickle.dump({"meta": self._meta, "entries": self._entries}, handle,
@@ -199,21 +266,42 @@ class _PickleBackend:
         self._flush()
 
     def get(self, key: str) -> Optional[bytes]:
-        return self._entries.get(key)
+        entry = self._entries.get(key)
+        return entry[0] if entry is not None else None
 
-    def put_many(self, items: Iterable[Tuple[str, bytes]]) -> None:
-        self._entries.update(items)
-        self._flush()
+    def put_many(self, items: Iterable[Tuple[str, bytes, int]]) -> None:
+        # Serialising the whole dict per batch would make the streaming
+        # driver's per-unit write-back O(units x store size); entry writes
+        # are therefore deferred and flushed once on close.
+        self._entries.update(
+            (key, (blob, generation)) for key, blob, generation in items)
+        self._dirty = True
 
     def keys(self) -> List[str]:
         return list(self._entries)
+
+    def size_bytes(self) -> int:
+        return sum(len(blob) for blob, _generation in self._entries.values())
+
+    def entry_info(self) -> List[Tuple[str, int, int]]:
+        """``(key, generation, size)`` triples, oldest generation first."""
+        return sorted(
+            ((key, generation, len(blob))
+             for key, (blob, generation) in self._entries.items()),
+            key=lambda item: (item[1], item[0]))
+
+    def delete_many(self, keys: Sequence[str]) -> None:
+        for key in keys:
+            self._entries.pop(key, None)
+        self._dirty = True
 
     def clear(self) -> None:
         self._entries.clear()
         self._flush()
 
     def close(self) -> None:
-        pass
+        if self._dirty and not self.readonly:
+            self._flush()
 
 
 def _pick_backend(path: str) -> str:
@@ -231,13 +319,24 @@ class AnalysisStore:
     ``version`` guards against stale results: on open, a writable store
     whose recorded version differs is cleared and restamped; a read-only
     store with a mismatched version answers every lookup with a miss.
+
+    ``max_bytes`` bounds the store's payload footprint: whenever a write
+    batch pushes the total past the budget, the oldest *generations* of
+    entries (a generation = one writable open) are swept first, in
+    deterministic key order within a generation.  ``None`` defers to the
+    ``REPRO_STORE_MAX_MB`` environment switch; ``0`` disables the budget.
     """
 
     def __init__(self, path: str, version: str = STORE_VERSION,
-                 backend: Optional[str] = None, readonly: bool = False) -> None:
+                 backend: Optional[str] = None, readonly: bool = False,
+                 max_bytes: Optional[int] = None) -> None:
         self.path = path
         self.version = version
         self.readonly = readonly
+        if max_bytes is None:
+            self.max_bytes = default_store_max_bytes()
+        else:
+            self.max_bytes = max_bytes if max_bytes > 0 else None
         backend_name = backend or _pick_backend(path)
         if backend_name == "pickle" or sqlite3 is None:
             self._backend = _PickleBackend(path, readonly=readonly)
@@ -245,6 +344,7 @@ class AnalysisStore:
             self._backend = _SqliteBackend(path, readonly=readonly)
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         stored = self._backend.get_meta("version")
         self._version_ok = stored == version
         if not self._version_ok and not readonly:
@@ -252,6 +352,10 @@ class AnalysisStore:
                 self._backend.clear()
             self._backend.set_meta("version", version)
             self._version_ok = True
+        self.generation = int(self._backend.get_meta("generation") or 0)
+        if not readonly:
+            self.generation += 1
+            self._backend.set_meta("generation", str(self.generation))
 
     @property
     def backend_name(self) -> str:
@@ -275,10 +379,48 @@ class AnalysisStore:
     def put_many(self, items: Iterable[Tuple[str, object]]) -> None:
         if self.readonly:
             raise RuntimeError("analysis store opened read-only")
-        encoded = [(key, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+        encoded = [(key, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+                    self.generation)
                    for key, payload in items]
         if encoded:
             self._backend.put_many(encoded)
+            if self.max_bytes is not None:
+                self.evict(self.max_bytes)
+
+    def size_bytes(self) -> int:
+        """Total pickled payload bytes currently stored."""
+        return self._backend.size_bytes()
+
+    def evict(self, max_bytes: Optional[int] = None) -> int:
+        """Sweep oldest-generation entries until the payload footprint fits.
+
+        Entries written in older store generations go first; within a
+        generation the sweep is deterministic (key order).  Returns the
+        number of entries evicted.  With no explicit ``max_bytes`` the
+        store's configured budget applies (no budget — no eviction).
+        """
+        if self.readonly:
+            raise RuntimeError("analysis store opened read-only")
+        if max_bytes is None:
+            budget = self.max_bytes
+        else:
+            # Same contract as the constructor: 0 means "no budget".
+            budget = max_bytes if max_bytes > 0 else None
+        if budget is None:
+            return 0
+        total = self._backend.size_bytes()
+        if total <= budget:
+            return 0
+        victims: List[str] = []
+        for key, _generation, size in self._backend.entry_info():
+            if total <= budget:
+                break
+            victims.append(key)
+            total -= size
+        if victims:
+            self._backend.delete_many(victims)
+            self.evictions += len(victims)
+        return len(victims)
 
     def keys(self) -> List[str]:
         return self._backend.keys() if self._version_ok else []

@@ -347,9 +347,17 @@ def _readonly_store(store_spec: Tuple[str, str, str]) -> AnalysisStore:
 
 
 def execute(task: Tuple[WorkUnit, Optional[Tuple[str, str, str]]]) -> Dict[str, object]:
-    """``Pool.map`` entry point: ``(unit, store_spec)`` with the store opened
+    """Pool entry point: ``(unit, store_spec)`` with the store opened
     read-only inside the worker (the coordinator is the only writer)."""
     unit, store_spec = task
     if store_spec is None:
         return run_work_unit(unit, store=None)
     return run_work_unit(unit, store=_readonly_store(store_spec))
+
+
+def execute_indexed(task: Tuple[int, WorkUnit, Optional[Tuple[str, str, str]]]) \
+        -> Tuple[int, Dict[str, object]]:
+    """``imap_unordered`` entry point: tags the payload with its input index
+    so the streaming coordinator can restore deterministic output order."""
+    index, unit, store_spec = task
+    return index, execute((unit, store_spec))

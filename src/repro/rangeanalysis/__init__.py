@@ -14,7 +14,12 @@ connected component ordering, and the analysis driver.
 
 from repro.rangeanalysis.interval import Interval, NEG_INF, POS_INF
 from repro.rangeanalysis.graph import DependencyGraph, strongly_connected_components
-from repro.rangeanalysis.analysis import RangeAnalysis, RangeAnalysisPass
+from repro.rangeanalysis.analysis import (
+    RangeAnalysis,
+    RangeAnalysisPass,
+    RangeStatistics,
+    default_range_solver,
+)
 
 __all__ = [
     "Interval",
@@ -24,4 +29,6 @@ __all__ = [
     "strongly_connected_components",
     "RangeAnalysis",
     "RangeAnalysisPass",
+    "RangeStatistics",
+    "default_range_solver",
 ]

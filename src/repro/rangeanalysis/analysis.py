@@ -19,11 +19,31 @@ When the function is in e-SSA form (after
 condition that dominates them; the analysis uses those conditions to refine
 ranges, which is how ``for (i = 0; i < N; i++)`` yields ``i ∈ [0, N-1]`` on
 the true branch.
+
+Two solver implementations compute the fixed point of a cyclic component:
+
+* ``sparse`` (the default) — a def-use worklist seeded from the
+  :class:`~repro.rangeanalysis.graph.DependencyGraph`.  Only users of values
+  whose interval actually changed are re-evaluated; per-value widening-point
+  tracking records where widening fired (the back-edge φ/σ nodes in
+  practice).  The worklist is ordered by ``(sweep, member index)`` so it
+  replays the dense solver's Gauss-Seidel trajectory exactly, skipping only
+  evaluations that are provably no-ops — the resulting intervals are
+  **bit-identical** to the dense solver's.
+* ``dense`` — the reference implementation: every member of the component is
+  re-evaluated on every iteration/widening/narrowing sweep.  Kept for
+  differential testing and as the baseline of
+  ``benchmarks/bench_solver_hotpath.py``.
+
+Select with the ``solver`` constructor argument or the ``REPRO_RANGE_SOLVER``
+environment variable (``sparse``/``dense``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+import os
+from heapq import heappop, heappush
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.ir.function import Function
 from repro.ir.instructions import (
@@ -41,6 +61,43 @@ from repro.rangeanalysis.graph import DependencyGraph
 from repro.rangeanalysis.interval import Interval
 
 
+def default_range_solver() -> str:
+    """The solver requested through ``REPRO_RANGE_SOLVER`` (default sparse)."""
+    raw = os.environ.get("REPRO_RANGE_SOLVER", "").strip().lower()
+    return raw if raw in ("sparse", "dense") else "sparse"
+
+
+class RangeStatistics:
+    """Counters describing one range-analysis solve.
+
+    ``evaluations`` counts transfer-function applications — the quantity the
+    sparse solver exists to reduce, and what
+    ``benchmarks/bench_solver_hotpath.py`` compares across solvers.
+    """
+
+    def __init__(self) -> None:
+        self.evaluations = 0
+        self.components = 0
+        self.cyclic_components = 0
+        self.widenings = 0
+        self.narrowings = 0
+        self.widening_points = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "evaluations": self.evaluations,
+            "components": self.components,
+            "cyclic_components": self.cyclic_components,
+            "widenings": self.widenings,
+            "narrowings": self.narrowings,
+            "widening_points": self.widening_points,
+        }
+
+    def __repr__(self) -> str:
+        return "<RangeStatistics evaluations={} widenings={} narrowings={}>".format(
+            self.evaluations, self.widenings, self.narrowings)
+
+
 class RangeAnalysis:
     """Computes and stores value ranges for a single function."""
 
@@ -53,10 +110,18 @@ class RangeAnalysis:
     MAX_NARROWING_ITERATIONS = 16
 
     def __init__(self, function: Function,
-                 argument_ranges: Optional[Dict[Argument, Interval]] = None) -> None:
+                 argument_ranges: Optional[Dict[Argument, Interval]] = None,
+                 solver: Optional[str] = None) -> None:
         self.function = function
         self.argument_ranges = argument_ranges or {}
         self.ranges: Dict[Value, Interval] = {}
+        self.solver = solver or default_range_solver()
+        if self.solver not in ("sparse", "dense"):
+            raise ValueError("unknown range solver {!r}".format(self.solver))
+        self.statistics = RangeStatistics()
+        #: values whose bounds widening actually changed — the per-value
+        #: widening points (back-edge φ/σ nodes and the chains they feed).
+        self.widening_points: Set[Value] = set()
         self._run()
 
     # -- public API ---------------------------------------------------------------
@@ -79,18 +144,25 @@ class RangeAnalysis:
         if self.function.is_declaration():
             return
         graph = DependencyGraph(self.function)
+        solve_cyclic = (self._solve_cyclic_sparse if self.solver == "sparse"
+                        else self._solve_cyclic_dense)
         for node in graph.nodes:
             self.ranges[node] = Interval.bottom()
         for component in graph.components_in_topological_order():
+            self.statistics.components += 1
             if graph.component_is_cyclic(component):
-                self._solve_cyclic(component)
+                self.statistics.cyclic_components += 1
+                solve_cyclic(component, graph)
             else:
                 self._solve_acyclic(component[0])
+        self.statistics.widening_points = len(self.widening_points)
 
     def _solve_acyclic(self, value: Value) -> None:
         self.ranges[value] = self._evaluate(value)
 
-    def _solve_cyclic(self, component: List[Value]) -> None:
+    def _solve_cyclic_dense(self, component: List[Value],
+                            _graph: DependencyGraph) -> None:
+        """Reference solver: full sweeps over the component until stable."""
         members = list(component)
         # Phase 1: plain iteration, then widening until stabilisation.
         for iteration in range(self.ITERATIONS_BEFORE_WIDENING):
@@ -110,6 +182,9 @@ class RangeAnalysis:
                 widened = self.ranges[value].widen(new)
                 if widened != self.ranges[value]:
                     self.ranges[value] = widened
+                    if value not in self.widening_points:
+                        self.widening_points.add(value)
+                    self.statistics.widenings += 1
                     stable = False
         # Phase 2: narrowing.
         for _ in range(self.MAX_NARROWING_ITERATIONS):
@@ -119,9 +194,87 @@ class RangeAnalysis:
                 narrowed = self.ranges[value].narrow(new)
                 if narrowed != self.ranges[value]:
                     self.ranges[value] = narrowed
+                    self.statistics.narrowings += 1
                     changed = True
             if not changed:
                 break
+
+    def _solve_cyclic_sparse(self, component: List[Value],
+                             graph: DependencyGraph) -> None:
+        """Change-driven solver: re-evaluate only users of changed values.
+
+        The worklist holds ``(sweep, member index)`` pairs ordered like the
+        dense solver's sweeps: when the value at index ``i`` changes during
+        sweep ``s``, a user at index ``j > i`` is re-evaluated later in the
+        same sweep (it would have seen the update in the dense Gauss–Seidel
+        pass too) and a user at ``j <= i`` in sweep ``s + 1``.  Values whose
+        operands did not change are skipped outright — their re-evaluation
+        would reproduce the stored interval, so the dense sweep's visit is a
+        no-op there.  The per-phase sweep limits are shared with the dense
+        solver, which makes the two solvers' results bit-identical.
+        """
+        members = list(component)
+        count = len(members)
+        index_of = {value: index for index, value in enumerate(members)}
+        users: List[List[int]] = []
+        for value in members:
+            users.append(sorted({index_of[user]
+                                 for user in graph.successors.get(value, [])
+                                 if user in index_of}))
+        ranges = self.ranges
+        statistics = self.statistics
+
+        heap: List[Tuple[int, int]] = [(0, index) for index in range(count)]
+        pending: Set[Tuple[int, int]] = set(heap)
+
+        def schedule(sweep: int, source_index: int) -> None:
+            for target_index in users[source_index]:
+                entry = (sweep if target_index > source_index else sweep + 1,
+                         target_index)
+                if entry not in pending:
+                    pending.add(entry)
+                    heappush(heap, entry)
+
+        # Phase 1a: bounded chaotic iteration.
+        while heap and heap[0][0] < self.ITERATIONS_BEFORE_WIDENING:
+            entry = heappop(heap)
+            pending.discard(entry)
+            sweep, index = entry
+            value = members[index]
+            new = self._evaluate(value)
+            if new != ranges[value]:
+                ranges[value] = new
+                schedule(sweep, index)
+        if not heap:
+            return
+        # Phase 1b: widening until the change frontier drains.
+        while heap:
+            entry = heappop(heap)
+            pending.discard(entry)
+            sweep, index = entry
+            value = members[index]
+            widened = ranges[value].widen(self._evaluate(value))
+            if widened != ranges[value]:
+                ranges[value] = widened
+                if value not in self.widening_points:
+                    self.widening_points.add(value)
+                statistics.widenings += 1
+                schedule(sweep, index)
+        # Phase 2: narrowing.  Every member re-enters once — the transfer
+        # changes from widening to narrowing, so "operands unchanged" no
+        # longer implies a no-op — then only users of refined values follow.
+        heap = [(0, index) for index in range(count)]
+        pending = set(heap)
+        while heap and heap[0][0] < self.MAX_NARROWING_ITERATIONS:
+            entry = heappop(heap)
+            pending.discard(entry)
+            sweep, index = entry
+            value = members[index]
+            narrowed = ranges[value].narrow(self._evaluate(value))
+            if narrowed != ranges[value]:
+                ranges[value] = narrowed
+                statistics.narrowings += 1
+                schedule(sweep, index)
 
     # -- transfer functions -----------------------------------------------------------
     def _operand_range(self, value: Value) -> Interval:
@@ -132,6 +285,7 @@ class RangeAnalysis:
         return self.ranges.get(value, Interval.top())
 
     def _evaluate(self, value: Value) -> Interval:
+        self.statistics.evaluations += 1
         if isinstance(value, Argument):
             return self.argument_ranges.get(value, Interval.top())
         if isinstance(value, ConstantInt):

@@ -6,11 +6,19 @@ bottom element; ``[-inf, +inf]`` is the top element.  The domain supports the
 abstract counterparts of the arithmetic the IR performs plus the lattice
 operations (join, meet, widening, narrowing) that the fixed-point solver
 needs.
+
+Intervals are immutable and hashable, and the common ones are **interned**:
+:meth:`Interval.of` (which every constructor and every operation routes
+through) answers from a canonical-object cache, so the fixed-point solver's
+hot ``join``/``widen``/``refine_*`` paths return existing objects instead of
+allocating.  The lattice operations additionally return ``self``/``other``
+directly whenever the result equals an operand — in a stable solve (the
+common case after the first few iterations) no object is created at all.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple, Union
+from typing import Dict, Iterable, Optional, Tuple, Union
 
 # Extended integers: plain Python ints plus the two infinities, represented
 # with floats so that comparisons work out of the box.
@@ -63,6 +71,12 @@ class Interval:
 
     __slots__ = ("lower", "upper", "_empty")
 
+    #: canonical-object cache of ``(lower, upper) -> Interval``; bounded so a
+    #: pathological workload cannot grow it without limit.  Shared process-wide
+    #: (intervals are immutable value objects).
+    _interned: Dict[Tuple[Extended, Extended], "Interval"] = {}
+    _INTERN_CAP = 1 << 16
+
     def __init__(self, lower: Extended = NEG_INF, upper: Extended = POS_INF,
                  empty: bool = False) -> None:
         if not empty and lower > upper:
@@ -72,25 +86,44 @@ class Interval:
         self.upper = upper if not empty else NEG_INF
 
     # -- constructors ---------------------------------------------------------
+    @classmethod
+    def of(cls, lower: Extended, upper: Extended) -> "Interval":
+        """The canonical (interned) interval ``[lower, upper]``.
+
+        Equal bounds always yield the *same* object, so repeated lattice
+        operations in the fixed-point solver stop allocating and identity
+        checks (``a is b``) become meaningful for cache-friendliness.  The
+        cache is capacity-bounded; beyond the cap, fresh (still equal, just
+        not canonical) objects are handed out.
+        """
+        key = (lower, upper)
+        cached = cls._interned.get(key)
+        if cached is not None:
+            return cached
+        interval = cls(lower, upper)
+        if len(cls._interned) < cls._INTERN_CAP:
+            cls._interned[key] = interval
+        return interval
+
     @staticmethod
     def top() -> "Interval":
-        return Interval(NEG_INF, POS_INF)
+        return _TOP
 
     @staticmethod
     def bottom() -> "Interval":
-        return Interval(empty=True)
+        return _BOTTOM
 
     @staticmethod
     def constant(value: int) -> "Interval":
-        return Interval(value, value)
+        return Interval.of(value, value)
 
     @staticmethod
     def at_least(value: Extended) -> "Interval":
-        return Interval(value, POS_INF)
+        return Interval.of(value, POS_INF)
 
     @staticmethod
     def at_most(value: Extended) -> "Interval":
-        return Interval(NEG_INF, value)
+        return Interval.of(NEG_INF, value)
 
     # -- predicates --------------------------------------------------------------
     def is_bottom(self) -> bool:
@@ -142,39 +175,53 @@ class Interval:
         """Least upper bound (interval hull)."""
         if self._empty:
             return other
-        if other._empty:
+        if other._empty or other is self:
             return self
-        return Interval(min(self.lower, other.lower), max(self.upper, other.upper))
+        lower = self.lower if self.lower <= other.lower else other.lower
+        upper = self.upper if self.upper >= other.upper else other.upper
+        if lower == self.lower and upper == self.upper:
+            return self
+        if lower == other.lower and upper == other.upper:
+            return other
+        return Interval.of(lower, upper)
 
     def meet(self, other: "Interval") -> "Interval":
         """Greatest lower bound (intersection)."""
         if self._empty or other._empty:
-            return Interval.bottom()
-        lower = max(self.lower, other.lower)
-        upper = min(self.upper, other.upper)
+            return _BOTTOM
+        lower = self.lower if self.lower >= other.lower else other.lower
+        upper = self.upper if self.upper <= other.upper else other.upper
         if lower > upper:
-            return Interval.bottom()
-        return Interval(lower, upper)
+            return _BOTTOM
+        if lower == self.lower and upper == self.upper:
+            return self
+        if lower == other.lower and upper == other.upper:
+            return other
+        return Interval.of(lower, upper)
 
     def widen(self, other: "Interval") -> "Interval":
         """Standard interval widening: unstable bounds jump to infinity."""
         if self._empty:
             return other
-        if other._empty:
+        if other._empty or other is self:
             return self
         lower = self.lower if other.lower >= self.lower else NEG_INF
         upper = self.upper if other.upper <= self.upper else POS_INF
-        return Interval(lower, upper)
+        if lower == self.lower and upper == self.upper:
+            return self
+        return Interval.of(lower, upper)
 
     def narrow(self, other: "Interval") -> "Interval":
         """Standard interval narrowing: infinities are refined, finite bounds kept."""
         if self._empty or other._empty:
-            return Interval.bottom()
+            return _BOTTOM
         lower = other.lower if self.lower == NEG_INF else self.lower
         upper = other.upper if self.upper == POS_INF else self.upper
         if lower > upper:
-            return Interval.bottom()
-        return Interval(lower, upper)
+            return _BOTTOM
+        if lower == self.lower and upper == self.upper:
+            return self
+        return Interval.of(lower, upper)
 
     def includes(self, other: "Interval") -> bool:
         """True if ``other`` is a subset of ``self``."""
@@ -187,33 +234,33 @@ class Interval:
     # -- abstract arithmetic --------------------------------------------------------
     def add(self, other: "Interval") -> "Interval":
         if self._empty or other._empty:
-            return Interval.bottom()
-        return Interval(_add(self.lower, other.lower, NEG_INF),
-                        _add(self.upper, other.upper, POS_INF))
+            return _BOTTOM
+        return Interval.of(_add(self.lower, other.lower, NEG_INF),
+                           _add(self.upper, other.upper, POS_INF))
 
     def neg(self) -> "Interval":
         if self._empty:
-            return Interval.bottom()
-        return Interval(-self.upper, -self.lower)
+            return _BOTTOM
+        return Interval.of(-self.upper, -self.lower)
 
     def sub(self, other: "Interval") -> "Interval":
         return self.add(other.neg())
 
     def mul(self, other: "Interval") -> "Interval":
         if self._empty or other._empty:
-            return Interval.bottom()
+            return _BOTTOM
         products = [
             _mul(self.lower, other.lower),
             _mul(self.lower, other.upper),
             _mul(self.upper, other.lower),
             _mul(self.upper, other.upper),
         ]
-        return Interval(min(products), max(products))
+        return Interval.of(min(products), max(products))
 
     def div(self, other: "Interval") -> "Interval":
         """Conservative division: exact only when the divisor is a non-zero constant."""
         if self._empty or other._empty:
-            return Interval.bottom()
+            return _BOTTOM
         if other.is_constant() and other.lower not in (0, NEG_INF, POS_INF):
             divisor = other.lower
             candidates = []
@@ -222,17 +269,17 @@ class Interval:
                     candidates.append(bound if divisor > 0 else -bound)
                 else:
                     candidates.append(_div_trunc(int(bound), divisor))
-            return Interval(min(candidates), max(candidates))
-        return Interval.top()
+            return Interval.of(min(candidates), max(candidates))
+        return _TOP
 
     def rem(self, other: "Interval") -> "Interval":
         """Conservative remainder: bounded by the divisor magnitude when known."""
         if self._empty or other._empty:
-            return Interval.bottom()
+            return _BOTTOM
         if other.is_constant() and other.lower not in (0, NEG_INF, POS_INF):
             magnitude = abs(other.lower) - 1
-            return Interval(-magnitude, magnitude)
-        return Interval.top()
+            return Interval.of(-magnitude, magnitude)
+        return _TOP
 
     # -- comparison-driven refinement --------------------------------------------------
     def refine_less_than(self, other: "Interval") -> "Interval":
@@ -260,3 +307,9 @@ class Interval:
 
     def refine_equal(self, other: "Interval") -> "Interval":
         return self.meet(other)
+
+
+#: the canonical top/bottom instances that every constructor hands out.
+_BOTTOM = Interval(empty=True)
+_TOP = Interval(NEG_INF, POS_INF)
+Interval._interned[(NEG_INF, POS_INF)] = _TOP

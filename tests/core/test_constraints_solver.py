@@ -5,13 +5,15 @@ These tests build small constraint systems by hand (mirroring Example 3.4 /
 pinned down independently of constraint generation.
 """
 
+import pytest
+
 from repro.core.lessthan.constraints import (
     InitConstraint,
     IntersectionConstraint,
     TOP,
     UnionConstraint,
 )
-from repro.core.lessthan.solver import ConstraintSolver
+from repro.core.lessthan.solver import ConstraintSolver, default_lt_solver
 from repro.ir import INT
 from repro.ir.values import Value
 
@@ -125,3 +127,69 @@ def test_unconstrained_cycle_degenerates_to_empty():
     solution = ConstraintSolver(constraints).solve()
     assert solution[a] == frozenset()
     assert solution[b] == frozenset()
+
+
+def _example_systems():
+    """The constraint systems of the tests above, rebuilt fresh per call."""
+    x0, x1, x2 = var("x0"), var("x1"), var("x2")
+    chain = [
+        InitConstraint(x0),
+        UnionConstraint(x1, [x0], [x0]),
+        UnionConstraint(x2, [x1], [x1]),
+    ]
+    init, i, inc = var("init"), var("i"), var("inc")
+    cycle = [
+        InitConstraint(init),
+        IntersectionConstraint(i, [init, inc]),
+        UnionConstraint(inc, [i], [i]),
+    ]
+    a, b = var("a"), var("b")
+    degenerate = [
+        IntersectionConstraint(a, [b]),
+        IntersectionConstraint(b, [a]),
+    ]
+    return {"chain": chain, "cycle": cycle, "degenerate": degenerate}
+
+
+def test_sparse_and_constraint_strategies_agree():
+    for name, constraints in _example_systems().items():
+        sparse = ConstraintSolver(constraints, strategy="sparse").solve()
+        legacy = ConstraintSolver(constraints, strategy="constraint").solve()
+        assert sparse == legacy, name
+
+
+def test_sparse_statistics_prove_the_reduction():
+    constraints = _example_systems()["cycle"]
+    solver = ConstraintSolver(constraints, strategy="sparse")
+    solver.solve()
+    stats = solver.statistics
+    # Every constraint is visited at least once (the seed pass)...
+    assert stats.worklist_pops >= stats.constraint_count
+    # ...the worklist is keyed by variable...
+    assert stats.variable_pops > 0
+    # ...and the dict shape carries the new counters.
+    as_dict = stats.as_dict()
+    for key in ("variable_pops", "coalesced_pushes", "skip_ratio"):
+        assert key in as_dict
+    assert 0.0 <= stats.skip_ratio <= 1.0
+
+
+def test_sparse_never_evaluates_more_than_legacy():
+    for name, constraints in _example_systems().items():
+        sparse = ConstraintSolver(constraints, strategy="sparse")
+        legacy = ConstraintSolver(constraints, strategy="constraint")
+        sparse.solve()
+        legacy.solve()
+        assert sparse.statistics.worklist_pops <= legacy.statistics.worklist_pops, name
+
+
+def test_strategy_selection_via_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_LT_SOLVER", "constraint")
+    assert default_lt_solver() == "constraint"
+    assert ConstraintSolver([]).strategy == "constraint"
+    monkeypatch.setenv("REPRO_LT_SOLVER", "bogus")
+    assert default_lt_solver() == "sparse"
+    monkeypatch.delenv("REPRO_LT_SOLVER")
+    assert ConstraintSolver([]).strategy == "sparse"
+    with pytest.raises(ValueError):
+        ConstraintSolver([], strategy="unknown")

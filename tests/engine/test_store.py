@@ -7,6 +7,7 @@ import pytest
 from repro.engine.store import (
     STORE_VERSION,
     AnalysisStore,
+    default_store_max_bytes,
     function_key,
     text_hash,
     unit_key,
@@ -121,3 +122,103 @@ def test_unit_key_sensitivity():
 def test_text_hash_is_stable():
     assert text_hash("abc") == text_hash("abc")
     assert text_hash("abc") != text_hash("abd")
+
+
+# -- growth management ------------------------------------------------------------
+
+def test_generation_advances_per_writable_open(tmp_path, backend):
+    path = str(tmp_path / "gen.bin")
+    with AnalysisStore(path, backend=backend) as store:
+        first = store.generation
+        assert first >= 1
+    with AnalysisStore(path, backend=backend) as store:
+        assert store.generation == first + 1
+    with AnalysisStore(path, backend=backend, readonly=True) as store:
+        # Read-only opens observe the counter without advancing it.
+        assert store.generation == first + 1
+
+
+def test_size_accounting(tmp_path, backend):
+    with AnalysisStore(str(tmp_path / "size.bin"), backend=backend) as store:
+        assert store.size_bytes() == 0
+        store.put("k1", PAYLOAD)
+        first = store.size_bytes()
+        assert first > 0
+        store.put("k2", PAYLOAD)
+        assert store.size_bytes() == 2 * first  # same payload, same pickle
+
+
+def test_evict_sweeps_oldest_generations_first(tmp_path, backend):
+    path = str(tmp_path / "evict.bin")
+    with AnalysisStore(path, backend=backend) as store:
+        store.put("old_a", PAYLOAD)
+        store.put("old_b", PAYLOAD)
+        entry_size = store.size_bytes() // 2
+    with AnalysisStore(path, backend=backend) as store:
+        store.put("new_a", PAYLOAD)
+        # Budget for one entry: both old-generation entries must go, the
+        # fresh one must survive.
+        evicted = store.evict(max_bytes=entry_size)
+        assert evicted == 2
+        assert sorted(store.keys()) == ["new_a"]
+        assert store.evictions == 2
+        # Already under budget: a second sweep is a no-op.
+        assert store.evict(max_bytes=entry_size) == 0
+
+
+def test_evict_is_deterministic_within_a_generation(tmp_path, backend):
+    path = str(tmp_path / "det.bin")
+    with AnalysisStore(path, backend=backend) as store:
+        for key in ("c", "a", "b", "d"):
+            store.put(key, PAYLOAD)
+        entry_size = store.size_bytes() // 4
+        store.evict(max_bytes=2 * entry_size)
+        # Key order breaks ties inside one generation: a and b are swept.
+        assert sorted(store.keys()) == ["c", "d"]
+
+
+def test_put_many_enforces_budget_automatically(tmp_path, backend):
+    path = str(tmp_path / "auto.bin")
+    with AnalysisStore(path, backend=backend) as store:
+        store.put("probe", PAYLOAD)
+        entry_size = store.size_bytes()
+    with AnalysisStore(path, backend=backend,
+                       max_bytes=3 * entry_size) as store:
+        for index in range(8):
+            store.put("k{}".format(index), PAYLOAD)
+        assert store.size_bytes() <= 3 * entry_size
+        assert store.evictions > 0
+    # The budget does not corrupt survivors.
+    with AnalysisStore(path, backend=backend, max_bytes=0) as store:
+        for key in store.keys():
+            assert store.get(key) == PAYLOAD
+
+
+def test_evict_without_budget_is_a_noop(tmp_path, backend):
+    with AnalysisStore(str(tmp_path / "nb.bin"), backend=backend) as store:
+        store.put("k", PAYLOAD)
+        assert store.max_bytes is None
+        assert store.evict() == 0
+        assert store.keys() == ["k"]
+
+
+def test_readonly_store_refuses_eviction(tmp_path, backend):
+    path = str(tmp_path / "ro.bin")
+    with AnalysisStore(path, backend=backend) as store:
+        store.put("k", PAYLOAD)
+    with AnalysisStore(path, backend=backend, readonly=True) as store:
+        with pytest.raises(RuntimeError):
+            store.evict(max_bytes=1)
+
+
+def test_default_store_max_bytes_parsing(monkeypatch):
+    monkeypatch.delenv("REPRO_STORE_MAX_MB", raising=False)
+    assert default_store_max_bytes() is None
+    monkeypatch.setenv("REPRO_STORE_MAX_MB", "2")
+    assert default_store_max_bytes() == 2 * 1024 * 1024
+    monkeypatch.setenv("REPRO_STORE_MAX_MB", "0.5")
+    assert default_store_max_bytes() == 512 * 1024
+    monkeypatch.setenv("REPRO_STORE_MAX_MB", "0")
+    assert default_store_max_bytes() is None
+    monkeypatch.setenv("REPRO_STORE_MAX_MB", "not-a-number")
+    assert default_store_max_bytes() is None
