@@ -7,17 +7,18 @@ whole suite LT increases the precision of BA by 9.49%, and that even where
 LT alone resolves fewer queries than BA, the two are largely complementary.
 
 This harness regenerates those series over the synthetic test-suite-like
-collection, routed through the execution engine: one work unit per program,
-fanned out over ``REPRO_WORKERS`` worker processes (serial in-process when
-unset) and persisted/warm-loaded through ``REPRO_STORE`` when given.
-Expected shape: BA + LT >= BA on every program, with a total improvement of
-several percent, and LT alone resolving a non-trivial number of queries that
-BA cannot.
+collection through the :class:`repro.api.Session` facade: one work unit per
+program, fanned out over the configured worker processes (``--workers`` /
+``REPRO_WORKERS``; serial in-process when unset) and persisted/warm-loaded
+through the configured store (``REPRO_STORE``) when given.  Expected shape:
+BA + LT >= BA on every program, with a total improvement of several
+percent, and LT alone resolving a non-trivial number of queries that BA
+cannot.
 """
 
 from harness import full_scale, print_table, write_results
 
-from repro.engine import run_workload
+from repro.api import Session
 from repro.synth import build_testsuite_sources
 
 PROGRAM_COUNT = 100 if full_scale() else 24
@@ -39,15 +40,16 @@ def test_figure8_precision_over_testsuite(benchmark):
     sources = build_testsuite_sources(count=PROGRAM_COUNT)
 
     # Workers / store default to the REPRO_WORKERS / REPRO_STORE environment
-    # switches inside the driver.
-    results = run_workload(sources, specs=SPECS)
-    rows = [_row(result) for result in results]
+    # switches through the session's ReproConfig.
+    with Session() as session:
+        results = session.run_workload(sources, specs=SPECS)
+        rows = [_row(result) for result in results]
 
-    # Benchmark the evaluation of one mid-sized program (representative cost
-    # of the full BA / LT / BA+LT pipeline on one benchmark).
-    representative = sources[len(sources) // 2]
-    benchmark(lambda: run_workload([representative], specs=SPECS, workers=0,
-                                   store=False))
+        # Benchmark the evaluation of one mid-sized program (representative
+        # cost of the full BA / LT / BA+LT pipeline on one benchmark).
+        representative = sources[len(sources) // 2]
+        benchmark(lambda: session.run_workload([representative], specs=SPECS,
+                                               workers=0, store=False))
 
     totals = {
         "benchmark": "TOTAL",

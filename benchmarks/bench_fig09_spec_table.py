@@ -6,8 +6,9 @@ highlights the benchmarks where LT improves BA by 10% or more (lbm, milc,
 bzip2, gobmk).
 
 This harness prints the same four columns for the sixteen synthetic SPEC-like
-programs, routed through the execution engine (``REPRO_WORKERS`` worker
-processes, ``REPRO_STORE`` persistence; serial in-process by default).
+programs, routed through the :class:`repro.api.Session` facade (worker
+processes and store persistence per the session's ``ReproConfig`` /
+``REPRO_*`` environment; serial in-process by default).
 Expected shape (matching the paper's story, not its absolute numbers): the
 pointer-arithmetic-heavy programs (lbm, milc, bzip2, gobmk, mcf, soplex) see
 a clear relative improvement of BA + LT over BA, while the allocation-heavy
@@ -17,7 +18,7 @@ is never below BA.
 
 from harness import print_table, write_results
 
-from repro.engine import run_workload
+from repro.api import Session
 from repro.synth import spec_sources
 
 #: benchmarks the paper highlights as improved by >= 10% (relative).
@@ -39,11 +40,13 @@ def _row(result):
 
 def test_figure9_spec_precision_table(benchmark):
     sources = spec_sources()
-    results = run_workload(sources, specs=SPECS)
-    rows = [_row(result) for result in results]
+    with Session() as session:
+        results = session.run_workload(sources, specs=SPECS)
+        rows = [_row(result) for result in results]
 
-    lbm = next(source for source in sources if source[0] == "spec_lbm")
-    benchmark(lambda: run_workload([lbm], specs=SPECS, workers=0, store=False))
+        lbm = next(source for source in sources if source[0] == "spec_lbm")
+        benchmark(lambda: session.run_workload([lbm], specs=SPECS, workers=0,
+                                               store=False))
 
     print_table("Figure 9 - % of no-alias answers on the SPEC-like programs", rows)
     write_results("fig09_spec_table", rows)

@@ -7,8 +7,9 @@ that constraint solving behaves linearly in practice because each constraint
 is popped from the worklist about 2.12 times before the fixed point.
 
 This harness reproduces both measurements on the synthetic test-suite-like
-programs via the execution engine's ``lessthan-stats`` job — one work unit
-per program, fanned out over ``REPRO_WORKERS`` processes when set — and
+programs via the engine's ``lessthan-stats`` job, driven through the
+:class:`repro.api.Session` facade — one work unit per program, fanned out
+over the configured worker processes (``REPRO_WORKERS``) when set — and
 prints one row per program (instructions, constraints, worklist pops) plus
 the aggregate R^2 and the pops-per-constraint ratio.  Expected shape: R^2
 very close to 1.0 and a small constant pops-per-constraint ratio (well
@@ -17,8 +18,8 @@ below 4).
 
 from harness import full_scale, print_table, write_results
 
+from repro.api import Session
 from repro.core import LessThanAnalysis
-from repro.engine import run_workload
 from repro.frontend import compile_source
 from repro.synth import build_testsuite_sources
 from repro.util import coefficient_of_determination
@@ -39,7 +40,8 @@ def _row(result):
 
 def test_figure11_constraints_linear_in_instructions(benchmark):
     sources = build_testsuite_sources(count=PROGRAM_COUNT, base_seed=11)
-    results = run_workload(sources, kind="lessthan-stats")
+    with Session() as session:
+        results = session.run_workload(sources, kind="lessthan-stats")
 
     rows = [_row(result) for result in results]
     # Present the rows smallest-to-largest, as the paper's figure does.

@@ -26,18 +26,18 @@ import time
 
 from harness import full_scale, print_table, write_results
 
+from repro.api import Session, env_float, env_int
 from repro.core.disambiguation import DisambiguationStatistics
-from repro.engine import run_workload
 from repro.synth import build_testsuite_sources
 
 #: the Figure-11 workload: the largest programs of the collection.
 POOL_COUNT = 100
 PROGRAM_COUNT = 32 if full_scale() else 10
-WORKERS = int(os.environ.get("REPRO_SCALING_WORKERS", "4"))
+WORKERS = env_int("REPRO_SCALING_WORKERS", 4)
 SPECS = (("basicaa",), ("lt",), ("basicaa", "lt"))
 
-MIN_PARALLEL_SPEEDUP = float(os.environ.get("REPRO_MIN_PARALLEL_SPEEDUP", "2.0"))
-MIN_WARM_SPEEDUP = float(os.environ.get("REPRO_MIN_WARM_SPEEDUP", "5.0"))
+MIN_PARALLEL_SPEEDUP = env_float("REPRO_MIN_PARALLEL_SPEEDUP", 2.0)
+MIN_WARM_SPEEDUP = env_float("REPRO_MIN_WARM_SPEEDUP", 5.0)
 
 
 def _available_cpus() -> int:
@@ -47,9 +47,9 @@ def _available_cpus() -> int:
         return os.cpu_count() or 1
 
 
-def _timed(**kwargs):
+def _timed(session, **kwargs):
     start = time.perf_counter()
-    results = run_workload(**kwargs)
+    results = session.run_workload(**kwargs)
     return time.perf_counter() - start, results
 
 
@@ -66,17 +66,18 @@ def _verdict_map(results):
 def test_parallel_scaling_and_warm_store(benchmark, tmp_path):
     sources = build_testsuite_sources(count=POOL_COUNT, base_seed=11)[-PROGRAM_COUNT:]
     store_path = str(tmp_path / "analysis_store.sqlite")
+    session = Session()
 
     # store=False: the baselines must stay persistence-free even when the
     # REPRO_STORE environment switch is set.
-    serial_seconds, serial = _timed(units=sources, specs=SPECS, workers=0,
-                                    store=False)
-    sharded_seconds, sharded = _timed(units=sources, specs=SPECS,
+    serial_seconds, serial = _timed(session, units=sources, specs=SPECS,
+                                    workers=0, store=False)
+    sharded_seconds, sharded = _timed(session, units=sources, specs=SPECS,
                                       workers=WORKERS, store=False)
-    cold_seconds, cold = _timed(units=sources, specs=SPECS, workers=WORKERS,
-                                store=store_path)
-    warm_seconds, warm = _timed(units=sources, specs=SPECS, workers=WORKERS,
-                                store=store_path)
+    cold_seconds, cold = _timed(session, units=sources, specs=SPECS,
+                                workers=WORKERS, store=store_path)
+    warm_seconds, warm = _timed(session, units=sources, specs=SPECS,
+                                workers=WORKERS, store=store_path)
 
     # --- bit-identical verdicts across every execution mode -----------------
     reference = _verdict_map(serial)
@@ -136,8 +137,8 @@ def test_parallel_scaling_and_warm_store(benchmark, tmp_path):
     write_results("parallel_scaling", rows + summary)
 
     # pytest-benchmark tracks the serial cost of one representative unit.
-    benchmark(lambda: run_workload(units=sources[:1], specs=SPECS, workers=0,
-                                   store=False))
+    benchmark(lambda: session.run_workload(units=sources[:1], specs=SPECS,
+                                           workers=0, store=False))
 
     # --- shape checks -------------------------------------------------------
     # A warm persistent store answers every unit without compiling or

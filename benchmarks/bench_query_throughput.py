@@ -14,18 +14,17 @@ the SPEC-like synthetic workloads under both paths, checks that the verdict
 counts are bit-identical, and asserts the cached path is at least 5x faster.
 """
 
-import os
 import time
 
 from harness import full_scale, print_table, write_results
 
+from repro.api import Session, env_float
 from repro.alias import AliasEvaluation, MemoryLocation
 from repro.alias.aaeval import collect_pointer_values
 from repro.core import (
     LessThanAnalysis,
     PointerDisambiguator,
 )
-from repro.engine import evaluate_module as engine_evaluate_module
 from repro.passes import FunctionAnalysisCache
 from repro.synth import spec_benchmarks
 
@@ -36,7 +35,7 @@ PROGRAMS = (
 REPEATS = 5 if full_scale() else 3
 #: the acceptance threshold; wall-clock ratios are noisy on shared CI
 #: runners, so the smoke job lowers it via the environment.
-MIN_SPEEDUP = float(os.environ.get("REPRO_MIN_SPEEDUP", "5.0"))
+MIN_SPEEDUP = env_float("REPRO_MIN_SPEEDUP", 5.0)
 
 
 def _seed_evaluate_module(module):
@@ -58,20 +57,20 @@ def _seed_evaluate_module(module):
     return evaluation
 
 
-def _cached_evaluate_module(program, cache):
-    """The batched fast path, routed through the execution engine's driver.
+def _cached_evaluate_module(session, program, cache):
+    """The batched fast path, routed through the ``Session`` facade.
 
     Always in-process: this figure measures per-query cost of the cached
     engine against the seed path, and spawning a process pool per repeat
     would measure pool start-up instead (cross-process sharding and store
     warm-up have their own figure, ``bench_parallel_scaling``).  The module
-    was already e-SSA-converted by the untimed warm-up, so the driver
+    was already e-SSA-converted by the untimed warm-up, so the engine
     correctly declines to persist it; verdict counts stay bit-identical,
     which the harness asserts against the seed path.
     """
-    result = engine_evaluate_module(program.module, specs=(("lt",),),
-                                    cache=cache, record_verdicts=False,
-                                    memoize_evaluations=False)
+    result = session.evaluate(program.module, specs=(("lt",),),
+                              cache=cache, record_verdicts=False,
+                              memoize_evaluations=False)
     return result.evaluation("lt")
 
 
@@ -86,7 +85,7 @@ def _time_repeats(thunk, repeats):
     return time.perf_counter() - start, first
 
 
-def _measure_program(program):
+def _measure_program(session, program):
     module = program.module
     # Convert to e-SSA once, untimed: the conversion mutates the IR and is
     # therefore paid once by whichever path runs first; keeping it out of the
@@ -98,7 +97,7 @@ def _measure_program(program):
 
     cache = FunctionAnalysisCache()
     cached_seconds, cached_eval = _time_repeats(
-        lambda: _cached_evaluate_module(program, cache), REPEATS)
+        lambda: _cached_evaluate_module(session, program, cache), REPEATS)
 
     queries = seed_eval.total_queries * REPEATS
     # Bit-identical verdicts are part of the contract of the fast path.
@@ -117,12 +116,13 @@ def _measure_program(program):
 
 def test_query_throughput_cached_vs_seed(benchmark):
     programs = spec_benchmarks(PROGRAMS)
-    rows = [_measure_program(program) for program in programs]
+    with Session() as session:
+        rows = [_measure_program(session, program) for program in programs]
 
-    # pytest-benchmark tracks the cached path on one representative program.
-    representative = programs[0]
-    cache = FunctionAnalysisCache()
-    benchmark(_cached_evaluate_module, representative, cache)
+        # pytest-benchmark tracks the cached path on one representative program.
+        representative = programs[0]
+        cache = FunctionAnalysisCache()
+        benchmark(_cached_evaluate_module, session, representative, cache)
 
     total_seed = sum(row.pop("_seed_seconds") for row in rows)
     total_cached = sum(row.pop("_cached_seconds") for row in rows)

@@ -22,11 +22,11 @@ contracts are enforced:
   (relaxable to ``REPRO_MAX_SPARSE_RATIO`` for noisy shared runners).
 """
 
-import os
 import time
 
 from harness import full_scale, print_table, write_results
 
+from repro.api import env_float
 from repro.core.lessthan.generation import ConstraintGenerator
 from repro.core.lessthan.solver import ConstraintSolver
 from repro.essa.transform import convert_to_essa
@@ -40,7 +40,7 @@ REPEATS = 5 if full_scale() else 3
 MIN_EVAL_REDUCTION = 3.0
 #: wall-clock gate; sparse must not be slower than dense (1.0), relaxed on
 #: noisy shared CI runners via the environment.
-MAX_SPARSE_RATIO = float(os.environ.get("REPRO_MAX_SPARSE_RATIO", "1.0"))
+MAX_SPARSE_RATIO = env_float("REPRO_MAX_SPARSE_RATIO", 1.0)
 
 #: nested-loop kernels of the paper, for realism next to the synthetic chains.
 KERNEL_NAMES = ("ins_sort", "partition", "two_pointer_sum")

@@ -31,8 +31,14 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
 def full_scale() -> bool:
-    """True when the full-scale (paper-sized) configuration is requested."""
-    return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false", "no")
+    """True when the full-scale (paper-sized) configuration is requested.
+
+    Reads the active :class:`repro.api.ReproConfig` / ``REPRO_FULL``
+    through the validated config boundary.
+    """
+    from repro.api.config import resolved_full_scale
+
+    return resolved_full_scale()
 
 
 def union_fieldnames(rows: Sequence[Dict[str, object]]) -> List[str]:

@@ -17,17 +17,20 @@ Run with::
     python examples/loop_dependence.py
 """
 
+from repro.api import Session
 from repro.alias import AliasAnalysisChain, AliasResult, BasicAliasAnalysis, MemoryLocation
 from repro.core import StrictInequalityAliasAnalysis
 from repro.ir.instructions import Load, Store
 from repro.ir.loops import LoopInfo
-from repro.synth import kernel_module
+from repro.synth import KERNEL_SOURCES
 
 
-def classify_loop(module, function_name: str) -> str:
+def classify_loop(session, module, function_name: str) -> str:
     """Return a human-readable verdict about the innermost loop's accesses."""
     function = module.get_function(function_name)
-    strict = StrictInequalityAliasAnalysis(module)
+    # The session's cache shares the e-SSA conversion and range analyses
+    # across every kernel this example inspects.
+    strict = StrictInequalityAliasAnalysis(module, cache=session.cache)
     chain = AliasAnalysisChain([BasicAliasAnalysis(), strict], name="ba+lt")
     loops = LoopInfo(function)
     if not loops.loops:
@@ -58,9 +61,10 @@ def classify_loop(module, function_name: str) -> str:
 
 
 def main() -> None:
+    session = Session()
     for name in ("memcopy", "copy_reverse", "prefix_sum"):
-        module = kernel_module(name)
-        print("{:15s} -> {}".format(name, classify_loop(module, name)))
+        module = session.compile(KERNEL_SOURCES[name], name=name).module
+        print("{:15s} -> {}".format(name, classify_loop(session, module, name)))
     print()
     print("copy_reverse is the paper's introduction example: only the")
     print("strict less-than relation i < j lets the compiler treat the")

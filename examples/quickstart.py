@@ -5,17 +5,20 @@ Run with::
     python examples/quickstart.py
 
 The script compiles the insertion-sort routine of Figure 1(a) of the paper
-(*Pointer Disambiguation via Strict Inequalities*, CGO 2017), runs the
-strict-inequality (less-than) analysis, and shows that the accesses ``v[i]``
-and ``v[j]`` of the inner loop can never touch the same memory cell — a fact
-the basic alias analysis cannot establish.
+(*Pointer Disambiguation via Strict Inequalities*, CGO 2017) through the
+:class:`repro.api.Session` facade, runs the strict-inequality (less-than)
+analysis, and shows that the accesses ``v[i]`` and ``v[j]`` of the inner
+loop can never touch the same memory cell — a fact the basic alias
+analysis cannot establish.
+
+The same pipeline is available from the command line::
+
+    python -m repro eval examples/ins_sort.c      # aa-eval table
+    python -m repro print-ir examples/ins_sort.c  # the SSA IR
 """
 
-from repro.alias import AliasAnalysisChain, BasicAliasAnalysis, evaluate_module
-from repro.core import PointerDisambiguator, StrictInequalityAliasAnalysis
-from repro.frontend import compile_source
+from repro.api import Session
 from repro.ir import print_function
-from repro.ir.instructions import GetElementPtr, Load, Store
 
 INS_SORT = """
 void ins_sort(int* v, int N) {
@@ -34,42 +37,40 @@ void ins_sort(int* v, int N) {
 
 
 def main() -> None:
+    # One session owns the analysis cache (and, when configured, the
+    # persistent store); every step below shares it.
+    session = Session()
+
     # 1. Compile the C-like source down to the SSA IR.
-    module = compile_source(INS_SORT, module_name="quickstart")
-    function = module.get_function("ins_sort")
+    unit = session.compile(INS_SORT, name="quickstart")
+    function = unit.module.get_function("ins_sort")
     print("=== IR after SSA construction ===")
     print(print_function(function))
     print()
 
-    # 2. Build the alias analyses: the basic one (BA) and the
-    #    strict-inequality one (LT).  Constructing the LT analysis converts
-    #    the module to e-SSA form and solves the less-than constraints.
-    basic = BasicAliasAnalysis()
-    strict = StrictInequalityAliasAnalysis(module)
-    chain = AliasAnalysisChain([basic, strict], name="BA + LT")
-
-    # 3. Ask about the memory accesses of the inner loop.
-    accesses = [inst.pointer for inst in function.instructions()
-                if isinstance(inst, (Load, Store)) and isinstance(inst.pointer, GetElementPtr)]
-    disambiguator = PointerDisambiguator(strict.analysis)
-    print("=== Pairwise verdicts for the v[...] accesses ===")
-    for i in range(len(accesses)):
-        for j in range(i + 1, len(accesses)):
-            a, b = accesses[i], accesses[j]
-            if a.index is b.index:
-                continue
-            print("  {:>4} vs {:<4}  BA: {:<9}  LT: {:<9}  reason: {}".format(
-                "%" + a.name, "%" + b.name,
-                str(basic.alias_values(a, b)),
-                str(strict.alias_values(a, b)),
-                disambiguator.disambiguate(a, b).value))
+    # 2. The fluent pipeline: analyze() converts the module to e-SSA form
+    #    and solves the less-than constraints; disambiguate() then queries
+    #    every unordered pointer pair.
+    report = unit.analyze().disambiguate()
+    print("=== Pairwise verdicts (strict-inequality criteria) ===")
+    for pair in report.resolved():
+        print("  {:>6} vs {:<6} no-alias via {}".format(
+            "%" + pair.pointer_a, "%" + pair.pointer_b, pair.reason.value))
+    print("  ... {} of {} pairs proven disjoint ({:.1%})".format(
+        report.no_alias_count, report.queries, report.no_alias_ratio))
     print()
 
-    # 4. Aggregate statistics, aa-eval style.
-    for label, analysis in (("BA", basic), ("LT", strict), ("BA + LT", chain)):
-        evaluation = evaluate_module(module, analysis)
+    # 3. Aggregate statistics, aa-eval style: the BA baseline, LT alone and
+    #    the BA + LT chain over the same module, through the same engine the
+    #    benchmarks use.  Verdicts are bit-identical to the CLI
+    #    (python -m repro eval) and to the cross-process workload driver.
+    result = unit.evaluate(specs=(("basicaa",), ("lt",), ("basicaa", "lt")))
+    for label, title in (("basicaa", "BA"), ("lt", "LT"),
+                         ("basicaa+lt", "BA + LT")):
+        evaluation = result.evaluation(label)
         print("{:8s} resolved {:3d} of {:3d} pointer pairs ({:.1%})".format(
-            label, evaluation.no_alias, evaluation.total_queries, evaluation.no_alias_ratio))
+            title, evaluation.no_alias, evaluation.total_queries,
+            evaluation.no_alias_ratio))
 
 
 if __name__ == "__main__":

@@ -17,6 +17,7 @@ can be inspected with Graphviz.
 import os
 import sys
 
+from repro.api import Session
 from repro.alias import AliasAnalysisChain, BasicAliasAnalysis
 from repro.core import StrictInequalityAliasAnalysis
 from repro.pdg import build_pdg
@@ -32,8 +33,11 @@ def main() -> None:
     print("Generated program: seed={}, pointer depth={}, {} IR instructions".format(
         seed, depth, module.instruction_count()))
 
+    # The session cache shares e-SSA conversion and range analyses between
+    # the strict analysis and both PDG builds.
+    session = Session()
     basic = BasicAliasAnalysis()
-    strict = StrictInequalityAliasAnalysis(module)
+    strict = StrictInequalityAliasAnalysis(module, cache=session.cache)
     chain = AliasAnalysisChain([basic, strict], name="ba+lt")
 
     pdg_ba = build_pdg(work, basic)

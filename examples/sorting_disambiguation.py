@@ -14,8 +14,7 @@ Run with::
     python examples/sorting_disambiguation.py
 """
 
-from repro.alias import AliasAnalysisChain, BasicAliasAnalysis, evaluate_function
-from repro.core import StrictInequalityAliasAnalysis
+from repro.api import Session
 from repro.ir.interpreter import Interpreter
 from repro.synth import KERNEL_SOURCES, kernel_module
 
@@ -29,17 +28,18 @@ def run_kernel(name: str, values):
     return interpreter.read_array(array, len(values))
 
 
-def analyse_kernel(name: str) -> None:
-    module = kernel_module(name)
-    function = module.get_function(name)
-    basic = BasicAliasAnalysis()
-    strict = StrictInequalityAliasAnalysis(module)
-    chain = AliasAnalysisChain([basic, strict], name="ba+lt")
+def analyse_kernel(session: Session, name: str) -> None:
+    # aa-eval the kernel through the session facade: BA alone, LT alone,
+    # and the BA + LT chain, exactly like the paper's tables.
+    unit = session.compile(KERNEL_SOURCES[name], name=name)
+    result = unit.evaluate(specs=(("basicaa",), ("lt",), ("basicaa", "lt")))
     print("--- {} ---".format(name))
-    for label, analysis in (("BA", basic), ("LT", strict), ("BA + LT", chain)):
-        evaluation = evaluate_function(function, analysis)
+    for label, title in (("basicaa", "BA"), ("lt", "LT"),
+                         ("basicaa+lt", "BA + LT")):
+        evaluation = result.evaluation(label)
         print("  {:8s} no-alias {:3d} / {:3d} pairs ({:.1%})".format(
-            label, evaluation.no_alias, evaluation.total_queries, evaluation.no_alias_ratio))
+            title, evaluation.no_alias, evaluation.total_queries,
+            evaluation.no_alias_ratio))
     print()
 
 
@@ -51,8 +51,9 @@ def main() -> None:
     print()
 
     print("=== Static disambiguation (the paper's Figure 1 claim) ===")
+    session = Session()
     for name in ("ins_sort", "partition", "copy_reverse"):
-        analyse_kernel(name)
+        analyse_kernel(session, name)
 
     print("The v[i] / v[j] accesses are resolved only once the strict")
     print("less-than relation i < j is known - interval reasoning cannot")

@@ -9,6 +9,16 @@ than the other.
 High-level entry points
 -----------------------
 
+* :class:`repro.api.Session` — **the** unified facade: fluent
+  ``Session(config).compile(src).analyze().disambiguate()`` pipeline,
+  ``Session.evaluate`` / ``Session.run_workload`` over the execution
+  engine, one shared analysis cache and store handle.
+* :class:`repro.api.ReproConfig` — every knob (workers, store, solver
+  strategies, truncation, synth seeds) as one validated, frozen dataclass
+  with the precedence chain *explicit argument > config field > ``REPRO_*``
+  env var > default*.
+* ``python -m repro`` — the CLI (``eval``, ``print-ir``, ``stats``,
+  ``store``) over the same facade.
 * :class:`repro.core.LessThanAnalysis` — compute strict less-than sets for a
   function or module.
 * :class:`repro.core.StrictInequalityAliasAnalysis` — the alias analysis
@@ -24,6 +34,7 @@ See ``examples/quickstart.py`` for a five-minute tour.
 
 __version__ = "1.0.0"
 
-from repro import alias, core, essa, ir, pdg, rangeanalysis
+from repro import alias, api, core, essa, ir, pdg, rangeanalysis
 
-__all__ = ["alias", "core", "essa", "ir", "pdg", "rangeanalysis", "__version__"]
+__all__ = ["alias", "api", "core", "essa", "ir", "pdg", "rangeanalysis",
+           "__version__"]

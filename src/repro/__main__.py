@@ -1,0 +1,12 @@
+"""``python -m repro`` — the command-line face of the reproduction.
+
+See :mod:`repro.api.cli` for the subcommands (``eval``, ``print-ir``,
+``stats``, ``store``) and the configuration flags.
+"""
+
+import sys
+
+from repro.api.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

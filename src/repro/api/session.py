@@ -1,0 +1,383 @@
+"""The fluent ``Session`` facade — one coherent entry point to the system.
+
+A :class:`Session` binds together the pieces every driver used to wire by
+hand: a validated :class:`~repro.api.config.ReproConfig`, exactly one
+:class:`~repro.passes.analysis_cache.FunctionAnalysisCache` (so repeated
+work over the same modules hits memoized analyses), exactly one
+:class:`~repro.engine.store.AnalysisStore` handle (opened lazily from the
+config, shared across every call, closed once with the session), and the
+execution engine's coordinator.
+
+The three call shapes::
+
+    from repro.api import ReproConfig, Session
+
+    # fluent, single-module pipeline
+    report = Session().compile(source).analyze().disambiguate()
+
+    # aa-eval over one module, in-process, sharing the session cache/store
+    result = session.evaluate(module, specs=(("basicaa",), ("lt",)))
+
+    # a whole workload, fanned out over worker processes per the config
+    with Session(ReproConfig(workers=4, store_path="warm.sqlite")) as session:
+        results = session.run_workload(sources)
+
+Every operation runs with the session's config *active*
+(:meth:`ReproConfig.activate`), so solver selection, class truncation and
+store parameters resolve from the config deep inside the pipeline — and
+are re-installed inside worker processes by the engine's pool initializer.
+
+The pre-existing module-level entry points
+(:func:`repro.engine.run_workload`, :func:`repro.engine.evaluate_module`,
+:func:`repro.engine.evaluate_module_parallel`) remain as thin deprecation
+shims that construct a default ``Session``; verdicts are bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.api.config import ReproConfig
+from repro.alias.aaeval import collect_pointer_values
+from repro.core.disambiguation import (
+    DisambiguationReason,
+    DisambiguationStatistics,
+    PointerDisambiguator,
+)
+from repro.core.lessthan.analysis import LessThanAnalysis
+from repro.engine import driver as _driver
+from repro.engine.driver import UnitLike, UnitResult
+from repro.engine.store import AnalysisStore
+from repro.engine.workunit import DEFAULT_SPECS, Scheduler, WorkUnit
+from repro.frontend import compile_source
+from repro.ir.module import Module
+from repro.ir.printer import print_module
+from repro.passes.analysis_cache import FunctionAnalysisCache
+
+
+class _Unopened:
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<unopened>"
+
+
+_UNOPENED = _Unopened()
+
+
+@dataclass(frozen=True)
+class PairVerdict:
+    """One disambiguated pointer pair of a :class:`DisambiguationReport`."""
+
+    function: str
+    pointer_a: str
+    pointer_b: str
+    reason: DisambiguationReason
+
+    @property
+    def no_alias(self) -> bool:
+        return bool(self.reason)
+
+
+class DisambiguationReport:
+    """The result of :meth:`CompiledUnit.disambiguate`: every unordered
+    pointer pair of every defined function, with the criterion (if any)
+    that proved it disjoint."""
+
+    def __init__(self, pairs: List[PairVerdict],
+                 statistics: DisambiguationStatistics) -> None:
+        self.pairs = pairs
+        self.statistics = statistics
+
+    @property
+    def queries(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def no_alias_count(self) -> int:
+        return sum(1 for pair in self.pairs if pair.no_alias)
+
+    @property
+    def no_alias_ratio(self) -> float:
+        return self.no_alias_count / self.queries if self.pairs else 0.0
+
+    def resolved(self) -> List[PairVerdict]:
+        """The pairs proven disjoint."""
+        return [pair for pair in self.pairs if pair.no_alias]
+
+    def __iter__(self):
+        return iter(self.pairs)
+
+    def __repr__(self) -> str:
+        return "<DisambiguationReport {}/{} no-alias ({:.1%})>".format(
+            self.no_alias_count, self.queries, self.no_alias_ratio)
+
+
+class CompiledUnit:
+    """One compiled module inside a session — the fluent pipeline stage.
+
+    ``session.compile(src)`` returns one of these; :meth:`analyze` runs the
+    strict-inequality pipeline (range analysis → e-SSA → constraint solve)
+    through the session cache and returns ``self`` for chaining;
+    :meth:`disambiguate` answers every pointer-pair query.  The e-SSA
+    conversion mutates the module in place (exactly like the original LLVM
+    artifact's pass pipeline), so :meth:`print_ir` shows the pre-conversion
+    form until the first analysis runs.
+    """
+
+    def __init__(self, session: "Session", name: str, source: str,
+                 module: Module) -> None:
+        self.session = session
+        self.name = name
+        self.source = source
+        self.module = module
+
+    # -- pipeline ----------------------------------------------------------------
+    def analyze(self, interprocedural: bool = True) -> "CompiledUnit":
+        """Run (or hit) the less-than analysis; returns ``self`` to chain."""
+        with self.session.config.activate():
+            self.session.cache.module_lessthan(self.module, interprocedural)
+        return self
+
+    def lessthan(self, interprocedural: bool = True) -> LessThanAnalysis:
+        """The (memoized) module-level less-than analysis."""
+        with self.session.config.activate():
+            return self.session.cache.module_lessthan(self.module,
+                                                      interprocedural)
+
+    def disambiguator(self, interprocedural: bool = True) -> PointerDisambiguator:
+        """The session-cached disambiguator over :meth:`lessthan`."""
+        with self.session.config.activate():
+            return self.session.cache.module_disambiguator(self.module,
+                                                           interprocedural)
+
+    def disambiguate(self, interprocedural: bool = True) -> DisambiguationReport:
+        """Query every unordered pointer pair of every defined function."""
+        with self.session.config.activate():
+            disambiguator = self.session.cache.module_disambiguator(
+                self.module, interprocedural)
+            pairs: List[PairVerdict] = []
+            for function in self.module.defined_functions():
+                pointers = collect_pointer_values(function)
+                for i, j, reason in disambiguator.disambiguate_pairs(pointers):
+                    pairs.append(PairVerdict(
+                        function.name,
+                        getattr(pointers[i], "name", str(pointers[i])),
+                        getattr(pointers[j], "name", str(pointers[j])),
+                        reason))
+            # Snapshot the counters: the session-cached disambiguator keeps
+            # accumulating across later queries, and a report must describe
+            # the state at the time it was produced.
+            statistics = DisambiguationStatistics.from_dict(
+                disambiguator.statistics.as_dict())
+            return DisambiguationReport(pairs, statistics)
+
+    def evaluate(self, specs: Sequence[Sequence[str]] = DEFAULT_SPECS,
+                 **kwargs: object) -> UnitResult:
+        """``aa-eval`` this module in-process through the session."""
+        return self.session.evaluate(self.module, specs=specs, **kwargs)
+
+    # -- views -------------------------------------------------------------------
+    def print_ir(self) -> str:
+        """The module's printed IR in its *current* form."""
+        return print_module(self.module)
+
+    def __repr__(self) -> str:
+        return "<CompiledUnit {} ({} instructions)>".format(
+            self.name, self.module.instruction_count())
+
+
+class Session:
+    """The facade owning one config, one analysis cache and one store handle.
+
+    ``config`` defaults to ``ReproConfig()`` (i.e. whatever the ``REPRO_*``
+    environment requests); keyword overrides construct or derive one, so
+    ``Session(workers=4)`` and ``Session(config, store_path=None)`` both
+    work.  Sessions are context managers — leaving the block closes the
+    store handle (sessions without a configured store need no cleanup).
+    """
+
+    def __init__(self, config: Optional[ReproConfig] = None,
+                 **overrides: object) -> None:
+        if config is None:
+            config = ReproConfig(**overrides)  # type: ignore[arg-type]
+        elif overrides:
+            config = config.replace(**overrides)
+        self.config = config
+        self.cache = FunctionAnalysisCache()
+        self._store: Union[_Unopened, Optional[AnalysisStore]] = _UNOPENED
+
+    # -- the store handle --------------------------------------------------------
+    @property
+    def store(self) -> Optional[AnalysisStore]:
+        """The session's persistent store, opened lazily from the config
+        (``None`` when no ``store_path`` is configured)."""
+        if isinstance(self._store, _Unopened):
+            path = self.config.store_path
+            self._store = self._open_store(path) if path else None
+        return self._store
+
+    def _open_store(self, path: str) -> AnalysisStore:
+        return AnalysisStore(
+            path,
+            backend=self.config.store_backend,
+            max_bytes=(self.config.store_max_bytes
+                       if self.config.store_max_bytes is not None else 0))
+
+    def _resolve_store_arg(self, store: object):
+        """``(store object, caller owns/closes it)`` under the precedence
+        chain: explicit argument > session store (from the config/env).
+
+        ``None`` (the default) uses the session's store; ``False`` forces a
+        persistence-free call; a path opens a store for this call only; an
+        :class:`AnalysisStore` is used as-is.
+        """
+        if store is False:
+            return None, False
+        if store is None:
+            return self.store, False
+        if isinstance(store, AnalysisStore):
+            return store, False
+        return self._open_store(str(store)), True
+
+    # -- lifecycle ----------------------------------------------------------------
+    def close(self) -> None:
+        """Close the session's store handle (idempotent)."""
+        if isinstance(self._store, AnalysisStore):
+            self._store.close()
+        self._store = _UNOPENED
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- the fluent pipeline -------------------------------------------------------
+    def compile(self, source: str, name: str = "module") -> CompiledUnit:
+        """Compile mini-C ``source`` into a session-bound pipeline stage."""
+        with self.config.activate():
+            module = compile_source(source, module_name=name)
+        return CompiledUnit(self, name, source, module)
+
+    # -- evaluation ----------------------------------------------------------------
+    def evaluate(self, module: Module,
+                 specs: Sequence[Sequence[str]] = DEFAULT_SPECS,
+                 *, cache: Optional[FunctionAnalysisCache] = None,
+                 store: object = None,
+                 interprocedural: bool = True,
+                 record_verdicts: bool = True,
+                 memoize_evaluations: bool = True) -> UnitResult:
+        """``aa-eval`` an already compiled module in-process.
+
+        Shares the session cache (pass ``cache=`` to substitute one) and the
+        session store.  Store keys content-address the *pre-conversion* IR,
+        so a module already converted to e-SSA outside the engine is
+        evaluated without persistence rather than growing a second,
+        incompatible key family.
+        """
+        with self.config.activate():
+            store_obj, owned = self._resolve_store_arg(store)
+            if store_obj is not None and any(
+                    getattr(function, "essa_form", False)
+                    for function in module.defined_functions()):
+                if owned:
+                    store_obj.close()
+                store_obj, owned = None, False
+            try:
+                payload = _driver.worker_module.evaluate_module_functions(
+                    module, None, specs,
+                    cache if cache is not None else self.cache, store_obj,
+                    interprocedural=interprocedural,
+                    record_verdicts=record_verdicts,
+                    memoize_evaluations=memoize_evaluations)
+                _driver._write_back(store_obj, payload)
+            finally:
+                if owned and store_obj is not None:
+                    store_obj.close()
+            return UnitResult(payload)
+
+    def evaluate_source(self, name: str, source: str,
+                        specs: Sequence[Sequence[str]] = DEFAULT_SPECS,
+                        *, workers: Optional[int] = None,
+                        store: object = None,
+                        interprocedural: bool = True) -> UnitResult:
+        """``aa-eval`` one module from source, sharding its functions across
+        worker processes when the (explicit or configured) worker count
+        asks for them."""
+        with self.config.activate():
+            worker_count = self._worker_count(workers)
+            spec_tuple = tuple(tuple(spec) for spec in specs)
+            unit = WorkUnit("aaeval", name, source, None, spec_tuple,
+                            interprocedural)
+            if worker_count > 1:
+                module = compile_source(source, module_name=name)
+                names = [function.name
+                         for function in module.defined_functions()]
+                weights = [float(len(collect_pointer_values(function)) ** 2 + 1)
+                           for function in module.defined_functions()]
+                shards = Scheduler(worker_count).shard_unit(unit, names, weights)
+            else:
+                shards = [unit]
+            store_obj, owned = self._resolve_store_arg(store)
+            try:
+                payloads = _driver._run_units(shards, worker_count, store_obj)
+            finally:
+                if owned and store_obj is not None:
+                    store_obj.close()
+            return UnitResult(_driver._merge_aaeval_payloads(name, payloads))
+
+    def run_workload(self, units: Sequence[UnitLike], kind: str = "aaeval",
+                     specs: Sequence[Sequence[str]] = DEFAULT_SPECS,
+                     *, workers: Optional[int] = None,
+                     store: object = None,
+                     interprocedural: bool = True,
+                     max_tasks_per_child: Optional[int] = None,
+                     on_result=None) -> List[UnitResult]:
+        """Evaluate one work unit per program, possibly over a worker pool.
+
+        ``units`` may be :class:`WorkUnit` objects, ``(name, source)``
+        tuples or anything with ``name``/``source`` attributes.  The
+        returned list is input-ordered regardless of worker scheduling;
+        ``on_result`` observes each :class:`UnitResult` as it lands.
+        """
+        with self.config.activate():
+            work = _driver._normalize_units(units, kind, specs, interprocedural)
+            worker_count = self._worker_count(workers)
+            store_obj, owned = self._resolve_store_arg(store)
+            on_payload = None
+            if on_result is not None:
+                on_payload = lambda payload: on_result(UnitResult(payload))
+            try:
+                payloads = _driver._run_units(work, worker_count, store_obj,
+                                              max_tasks_per_child,
+                                              on_payload=on_payload)
+            finally:
+                if owned and store_obj is not None:
+                    store_obj.close()
+            return [UnitResult(payload) for payload in payloads]
+
+    def _worker_count(self, workers: Optional[int]) -> int:
+        if workers is None:
+            return self.config.workers
+        # Route the explicit argument through the config's validation so a
+        # bad value fails with the same actionable message everywhere.
+        return self.config.replace(workers=workers).workers
+
+    # -- introspection ---------------------------------------------------------------
+    def statistics(self) -> Dict[str, object]:
+        """Cache and store counters for dashboards/tests."""
+        stats: Dict[str, object] = {"cache": self.cache.statistics.as_dict()}
+        store = self._store if isinstance(self._store, AnalysisStore) else None
+        if store is not None:
+            stats["store"] = {
+                "hits": store.hits,
+                "misses": store.misses,
+                "evictions": store.evictions,
+                "entries": len(store),
+                "size_bytes": store.size_bytes(),
+            }
+        return stats
+
+    def __repr__(self) -> str:
+        return "<Session workers={} store={}>".format(
+            self.config.workers, self.config.store_path)

@@ -40,6 +40,7 @@ from __future__ import annotations
 import enum
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
+from repro.api.config import resolved_class_limit
 from repro.core.lessthan.analysis import LessThanAnalysis
 from repro.ir.instructions import Copy, GetElementPtr, Instruction
 from repro.ir.values import Argument, ConstantInt, Value
@@ -216,9 +217,15 @@ class PointerDisambiguator:
     """
 
     def __init__(self, analysis: LessThanAnalysis, memoize: bool = True,
-                 class_limit: int = 64) -> None:
+                 class_limit: Optional[int] = None) -> None:
         self.analysis = analysis
         self.memoize = memoize
+        # Precedence: explicit argument > active ReproConfig >
+        # REPRO_CLASS_LIMIT > default (64).  Pass 0 for "no truncation".
+        if class_limit is None:
+            class_limit = resolved_class_limit()
+        elif class_limit <= 0:
+            class_limit = None
         self.class_limit = class_limit
         self.statistics = DisambiguationStatistics()
         # Indexed per-value tables (identity-keyed: Values hash by identity).

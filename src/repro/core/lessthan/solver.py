@@ -29,19 +29,25 @@ quantify the work the dependents-only scheme avoids.
 
 from __future__ import annotations
 
-import os
 import time
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
 
+from repro.api.config import resolved_lt_solver
 from repro.core.lessthan.constraints import Constraint, LTState, TOP
 from repro.ir.values import Value
 from repro.util.worklist import Worklist
 
 
 def default_lt_solver() -> str:
-    """The strategy requested through ``REPRO_LT_SOLVER`` (default sparse)."""
-    raw = os.environ.get("REPRO_LT_SOLVER", "").strip().lower()
-    return raw if raw in ("sparse", "constraint") else "sparse"
+    """The configured strategy (default ``sparse``).
+
+    Resolution — active :class:`~repro.api.config.ReproConfig` first, the
+    ``REPRO_LT_SOLVER`` environment variable second — lives in
+    :mod:`repro.api.config`; invalid values raise
+    :class:`~repro.api.config.ConfigError` there instead of silently
+    falling back.
+    """
+    return resolved_lt_solver()
 
 
 class SolverStatistics:

@@ -18,14 +18,17 @@ Public API:
   compiled module, sharing its :class:`FunctionAnalysisCache` with the
   caller.
 
-Defaults come from the environment so existing benchmark drivers switch
-behaviour without code changes:
+The public functions above are deprecation shims over the
+:class:`repro.api.session.Session` facade; defaults resolve through
+:class:`repro.api.config.ReproConfig` (explicit argument > config field >
+``REPRO_*`` environment variable > default):
 
-* ``REPRO_WORKERS`` — worker-process count (``0``/unset = serial).
-* ``REPRO_STORE`` — path of the persistent analysis store (unset = no
-  persistence); ``REPRO_STORE_BACKEND`` may force ``sqlite`` or ``pickle``;
-  ``REPRO_STORE_MAX_MB`` bounds the store's payload footprint (oldest
-  generations are swept after each write batch).
+* ``workers`` / ``REPRO_WORKERS`` — worker-process count (``0`` = serial).
+* ``store_path`` / ``REPRO_STORE`` — path of the persistent analysis store
+  (unset = no persistence); ``store_backend`` / ``REPRO_STORE_BACKEND`` may
+  force ``sqlite`` or ``pickle``; ``store_max_mb`` / ``REPRO_STORE_MAX_MB``
+  bounds the store's payload footprint (least-recently-used entries are
+  swept after each write batch).
 
 Workers only ever *read* the store; freshly computed entries return to the
 coordinator inside each payload and are written back here, keeping the
@@ -39,29 +42,32 @@ import os
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import repro
-from repro.alias.aaeval import AliasEvaluation, collect_pointer_values
+from repro.api import config as api_config
+from repro.alias.aaeval import AliasEvaluation
 from repro.core.disambiguation import DisambiguationStatistics
 from repro.engine import worker as worker_module
 from repro.engine.store import AnalysisStore
-from repro.engine.workunit import DEFAULT_SPECS, Scheduler, WorkUnit
-from repro.frontend import compile_source
+from repro.engine.workunit import DEFAULT_SPECS, WorkUnit
 from repro.ir.module import Module
 from repro.passes.analysis_cache import FunctionAnalysisCache
 
 
 def default_workers() -> int:
-    """The worker count requested through ``REPRO_WORKERS`` (0 = serial)."""
-    raw = os.environ.get("REPRO_WORKERS", "").strip()
-    try:
-        return max(0, int(raw)) if raw else 0
-    except ValueError:
-        return 0
+    """The configured worker count (0 = serial).
+
+    Resolution — active :class:`~repro.api.config.ReproConfig` first, the
+    ``REPRO_WORKERS`` environment variable second — lives in
+    :mod:`repro.api.config`; invalid values raise
+    :class:`~repro.api.config.ConfigError` there instead of silently
+    falling back to serial.
+    """
+    return api_config.resolved_workers()
 
 
 def default_store_path() -> Optional[str]:
-    """The persistent-store path requested through ``REPRO_STORE``."""
-    raw = os.environ.get("REPRO_STORE", "").strip()
-    return raw or None
+    """The configured persistent-store path (active config, then
+    ``REPRO_STORE``)."""
+    return api_config.resolved_store_path()
 
 
 def _start_method() -> str:
@@ -150,29 +156,21 @@ def _normalize_units(units: Sequence[UnitLike], kind: str,
     return normalized
 
 
-def _resolve_store(store: Union[None, bool, str, AnalysisStore]) \
-        -> Tuple[Optional[AnalysisStore], bool]:
-    """``(store object, whether this call owns/closes it)``.
-
-    ``None`` defers to the ``REPRO_STORE`` environment switch; ``False``
-    disables persistence outright regardless of the environment (benchmarks
-    use it for their no-store baselines).
-    """
-    if store is False:
-        return None, False
-    if store is None:
-        path = default_store_path()
-        return (AnalysisStore(path), True) if path else (None, False)
-    if isinstance(store, AnalysisStore):
-        return store, False
-    return AnalysisStore(str(store)), True
-
-
 def _write_back(store: Optional[AnalysisStore],
                 payload: Dict[str, object]) -> None:
-    """Persist one payload's freshly computed entries (coordinator-side)."""
+    """Persist one payload's freshly computed entries (coordinator-side).
+
+    Also applies the payload's *touched keys* — store hits recorded by a
+    read-only worker-side store — promoting those entries to the current
+    generation so eviction approximates LRU rather than FIFO.
+    """
     entries = payload.pop("new_entries", None)
-    if store is not None and not store.readonly and entries:
+    touched = payload.pop("touched_keys", None)
+    if store is None or store.readonly:
+        return
+    if touched:
+        store.touch_many(touched)
+    if entries:
         store.put_many(entries)
 
 
@@ -203,9 +201,11 @@ def _run_units(units: List[WorkUnit], workers: int,
     if store is not None:
         store_spec = (store.path, store.version, store.backend_name)
     context = multiprocessing.get_context(_start_method())
+    # Ship the active config (if any) into every worker so that solver
+    # selection and class truncation resolve exactly as on the coordinator.
     pool = context.Pool(processes=workers,
                         initializer=worker_module.initialize_worker,
-                        initargs=(_source_root(),),
+                        initargs=(_source_root(), api_config.active_config()),
                         maxtasksperchild=max_tasks_per_child)
     arrived: List[Tuple[int, Dict[str, object]]] = []
     try:
@@ -233,30 +233,26 @@ def run_workload(units: Sequence[UnitLike], kind: str = "aaeval",
                  on_result=None) -> List[UnitResult]:
     """Evaluate one work unit per benchmark program, possibly in parallel.
 
+    .. deprecated::
+        Thin shim over :meth:`repro.api.session.Session.run_workload`; it
+        constructs a default (environment-configured) session per call.
+        New code should hold a :class:`~repro.api.session.Session` so
+        repeated workloads share one cache and one store handle.
+
     ``units`` may be ``WorkUnit`` objects, ``(name, source)`` tuples or
     anything with ``name``/``source`` attributes (``WorkloadProgram``).
     Results come back in input order regardless of worker scheduling.
-    ``store=None`` defers to ``REPRO_STORE``; pass ``store=False`` to force
-    a persistence-free run (e.g. a timing baseline).
-
-    ``on_result`` streams: it is called with each :class:`UnitResult` as the
-    unit lands (arrival order under a pool — only the *returned* list is
-    input-ordered), letting a harness write rows while later shards are
-    still being evaluated.
+    ``store=None`` defers to the configured store path; pass ``store=False``
+    to force a persistence-free run (e.g. a timing baseline).  ``on_result``
+    streams: it observes each :class:`UnitResult` as the unit lands.
     """
-    work = _normalize_units(units, kind, specs, interprocedural)
-    worker_count = default_workers() if workers is None else workers
-    store_obj, owned = _resolve_store(store)
-    on_payload = None
-    if on_result is not None:
-        on_payload = lambda payload: on_result(UnitResult(payload))
-    try:
-        payloads = _run_units(work, worker_count, store_obj,
-                              max_tasks_per_child, on_payload=on_payload)
-    finally:
-        if owned and store_obj is not None:
-            store_obj.close()
-    return [UnitResult(payload) for payload in payloads]
+    from repro.api.session import Session
+
+    with Session() as session:
+        return session.run_workload(
+            units, kind=kind, specs=specs, workers=workers, store=store,
+            interprocedural=interprocedural,
+            max_tasks_per_child=max_tasks_per_child, on_result=on_result)
 
 
 def _merge_aaeval_payloads(name: str,
@@ -303,25 +299,16 @@ def evaluate_module_parallel(name: str, source: str,
     weights (pointer count squared — the query loop is quadratic); each
     worker recompiles the identical source and evaluates only its shard.
     With ``workers <= 1`` the whole module is evaluated in-process.
+
+    .. deprecated::
+        Thin shim over :meth:`repro.api.session.Session.evaluate_source`.
     """
-    worker_count = default_workers() if workers is None else workers
-    spec_tuple = tuple(tuple(spec) for spec in specs)
-    unit = WorkUnit("aaeval", name, source, None, spec_tuple, interprocedural)
-    if worker_count > 1:
-        module = compile_source(source, module_name=name)
-        names = [function.name for function in module.defined_functions()]
-        weights = [float(len(collect_pointer_values(function)) ** 2 + 1)
-                   for function in module.defined_functions()]
-        shards = Scheduler(worker_count).shard_unit(unit, names, weights)
-    else:
-        shards = [unit]
-    store_obj, owned = _resolve_store(store)
-    try:
-        payloads = _run_units(shards, worker_count, store_obj)
-    finally:
-        if owned and store_obj is not None:
-            store_obj.close()
-    return UnitResult(_merge_aaeval_payloads(name, payloads))
+    from repro.api.session import Session
+
+    with Session() as session:
+        return session.evaluate_source(name, source, specs=specs,
+                                       workers=workers, store=store,
+                                       interprocedural=interprocedural)
 
 
 def evaluate_module(module: Module,
@@ -339,22 +326,15 @@ def evaluate_module(module: Module,
     a module that has already been e-SSA-converted outside the engine cannot
     be addressed canonically any more — persistence is skipped for it rather
     than growing an incompatible second key family.
+
+    .. deprecated::
+        Thin shim over :meth:`repro.api.session.Session.evaluate`.  A held
+        session additionally shares its cache across calls automatically.
     """
-    store_obj, owned = _resolve_store(store)
-    if store_obj is not None and any(getattr(function, "essa_form", False)
-                                     for function in module.defined_functions()):
-        if owned:
-            store_obj.close()
-        store_obj, owned = None, False
-    try:
-        payload = worker_module.evaluate_module_functions(
-            module, None, specs, cache, store_obj,
-            interprocedural=interprocedural, record_verdicts=record_verdicts,
-            memoize_evaluations=memoize_evaluations)
-        if store_obj is not None and not store_obj.readonly:
-            store_obj.put_many(dict(payload.get("new_entries", [])).items())
-        payload.pop("new_entries", None)
-    finally:
-        if owned and store_obj is not None:
-            store_obj.close()
-    return UnitResult(payload)
+    from repro.api.session import Session
+
+    with Session() as session:
+        return session.evaluate(module, specs=specs, cache=cache, store=store,
+                                interprocedural=interprocedural,
+                                record_verdicts=record_verdicts,
+                                memoize_evaluations=memoize_evaluations)

@@ -35,6 +35,15 @@ writable open), so long-lived stores can be swept with
 :meth:`AnalysisStore.evict` — oldest generations go first, deterministically
 — down to a byte budget.  Set ``REPRO_STORE_MAX_MB`` to have every write
 batch enforce the budget automatically.
+
+Eviction approximates **LRU**, not FIFO: a lookup that hits *touches* the
+entry, promoting it to the store's current generation, so hot entries
+survive sweeps that reclaim cold ones.  A writable store touches directly
+(buffered, flushed before any sweep or at close); a read-only store — the
+worker side of the engine's single-writer protocol — records the hit keys
+in :attr:`AnalysisStore.touched_keys`, which travel back to the
+coordinator inside the shard payload and are applied there with
+:meth:`AnalysisStore.touch_many`.
 """
 
 from __future__ import annotations
@@ -42,7 +51,9 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.api.config import resolved_store_backend, resolved_store_max_bytes
 
 try:  # pragma: no cover - sqlite3 is in the stdlib virtually everywhere
     import sqlite3
@@ -57,15 +68,14 @@ STORE_VERSION = "aaeval-3"
 
 
 def default_store_max_bytes() -> Optional[int]:
-    """The byte budget requested through ``REPRO_STORE_MAX_MB`` (None = unbounded)."""
-    raw = os.environ.get("REPRO_STORE_MAX_MB", "").strip()
-    if not raw:
-        return None
-    try:
-        megabytes = float(raw)
-    except ValueError:
-        return None
-    return int(megabytes * 1024 * 1024) if megabytes > 0 else None
+    """The configured byte budget (``None`` = unbounded).
+
+    Resolution — active :class:`~repro.api.config.ReproConfig` first, the
+    ``REPRO_STORE_MAX_MB`` environment variable second — lives in
+    :mod:`repro.api.config`; invalid values raise
+    :class:`~repro.api.config.ConfigError` there.
+    """
+    return resolved_store_max_bytes()
 
 
 def function_key(label: str, function_text: str, module_text_hash: str = "") -> str:
@@ -213,6 +223,13 @@ class _SqliteBackend:
             "DELETE FROM entries WHERE key = ?", [(key,) for key in keys])
         self._connection.commit()
 
+    def touch_many(self, keys: Sequence[str], generation: int) -> None:
+        """Promote ``keys`` to ``generation`` (missing keys are no-ops)."""
+        self._connection.executemany(
+            "UPDATE entries SET generation = ? WHERE key = ?",
+            [(generation, key) for key in keys])
+        self._connection.commit()
+
     def clear(self) -> None:
         self._connection.execute("DELETE FROM entries")
         self._connection.commit()
@@ -295,6 +312,14 @@ class _PickleBackend:
             self._entries.pop(key, None)
         self._dirty = True
 
+    def touch_many(self, keys: Sequence[str], generation: int) -> None:
+        """Promote ``keys`` to ``generation`` (missing keys are no-ops)."""
+        for key in keys:
+            entry = self._entries.get(key)
+            if entry is not None and entry[1] != generation:
+                self._entries[key] = (entry[0], generation)
+                self._dirty = True
+
     def clear(self) -> None:
         self._entries.clear()
         self._flush()
@@ -305,8 +330,8 @@ class _PickleBackend:
 
 
 def _pick_backend(path: str) -> str:
-    explicit = os.environ.get("REPRO_STORE_BACKEND", "").strip().lower()
-    if explicit in ("sqlite", "pickle"):
+    explicit = resolved_store_backend()  # active config / REPRO_STORE_BACKEND
+    if explicit is not None:
         return explicit
     if path.endswith(".pkl") or path.endswith(".pickle"):
         return "pickle"
@@ -345,6 +370,12 @@ class AnalysisStore:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: hit keys recorded by a *read-only* store (the engine ships them
+        #: back to the coordinator, which applies :meth:`touch_many`).
+        self.touched_keys: List[str] = []
+        # Writable stores buffer their own touches and flush them before
+        # anything reads generations (eviction) or the store closes.
+        self._pending_touches: Set[str] = set()
         stored = self._backend.get_meta("version")
         self._version_ok = stored == version
         if not self._version_ok and not readonly:
@@ -362,7 +393,12 @@ class AnalysisStore:
         return self._backend.name
 
     def get(self, key: str) -> Optional[object]:
-        """The payload stored under ``key``, or ``None`` on a miss."""
+        """The payload stored under ``key``, or ``None`` on a miss.
+
+        A hit *touches* the entry (LRU approximation): writable stores
+        promote it to the current generation, read-only stores record the
+        key in :attr:`touched_keys` for the coordinator to apply.
+        """
         if not self._version_ok:
             self.misses += 1
             return None
@@ -371,7 +407,29 @@ class AnalysisStore:
             self.misses += 1
             return None
         self.hits += 1
+        if self.readonly:
+            self.touched_keys.append(key)
+        else:
+            self._pending_touches.add(key)
         return pickle.loads(blob)
+
+    def _flush_touches(self) -> None:
+        if self._pending_touches:
+            self._backend.touch_many(sorted(self._pending_touches),
+                                     self.generation)
+            self._pending_touches.clear()
+
+    def touch_many(self, keys: Sequence[str]) -> None:
+        """Promote ``keys`` to the current generation (the LRU "use" mark).
+
+        Missing keys are ignored.  This is the writable half of the
+        reader-touch protocol: workers read the store read-only, accumulate
+        hit keys, and the coordinator — the single writer — applies them.
+        """
+        if self.readonly:
+            raise RuntimeError("analysis store opened read-only")
+        if keys:
+            self._backend.touch_many(list(keys), self.generation)
 
     def put(self, key: str, payload: object) -> None:
         self.put_many([(key, payload)])
@@ -379,6 +437,9 @@ class AnalysisStore:
     def put_many(self, items: Iterable[Tuple[str, object]]) -> None:
         if self.readonly:
             raise RuntimeError("analysis store opened read-only")
+        # Piggyback buffered touches on every write batch so recorded hits
+        # survive even when the caller never reaches close().
+        self._flush_touches()
         encoded = [(key, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
                     self.generation)
                    for key, payload in items]
@@ -408,6 +469,7 @@ class AnalysisStore:
             budget = max_bytes if max_bytes > 0 else None
         if budget is None:
             return 0
+        self._flush_touches()  # generations must be current before the sweep
         total = self._backend.size_bytes()
         if total <= budget:
             return 0
@@ -436,7 +498,28 @@ class AnalysisStore:
             raise RuntimeError("analysis store opened read-only")
         self._backend.clear()
 
+    def info(self) -> Dict[str, object]:
+        """A summary of the store's state (the CLI's ``store info`` view)."""
+        if not self.readonly:
+            self._flush_touches()
+        generations: Dict[int, int] = {}
+        for _key, generation, _size in self._backend.entry_info():
+            generations[generation] = generations.get(generation, 0) + 1
+        return {
+            "path": self.path,
+            "backend": self.backend_name,
+            "version": self._backend.get_meta("version"),
+            "version_ok": self._version_ok,
+            "generation": self.generation,
+            "entries": len(self._backend.keys()),
+            "size_bytes": self._backend.size_bytes(),
+            "max_bytes": self.max_bytes,
+            "entries_per_generation": generations,
+        }
+
     def close(self) -> None:
+        if not self.readonly:
+            self._flush_touches()
         self._backend.close()
 
     def __enter__(self) -> "AnalysisStore":

@@ -29,6 +29,7 @@ import os
 import sys
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api.config import ReproConfig, install_config
 from repro.alias.aaeval import (
     AliasEvaluation,
     evaluate_function,
@@ -49,15 +50,24 @@ from repro.ir.printer import print_function, print_module
 from repro.passes.analysis_cache import FunctionAnalysisCache
 
 
-def initialize_worker(src_path: Optional[str]) -> None:
+def initialize_worker(src_path: Optional[str],
+                      config: Optional[ReproConfig] = None) -> None:
     """Pool initializer: make ``repro`` importable under the spawn method.
 
     Forked workers inherit the parent's ``sys.path``; spawned ones re-import
     from scratch and only see ``PYTHONPATH``, so the coordinator passes the
     source root it imported ``repro`` from.
+
+    ``config`` is the coordinator's active :class:`ReproConfig`, installed
+    as this process's base config so that solver selection and
+    equivalence-class truncation resolve identically in every worker —
+    under ``spawn`` as well as ``fork`` (environment variables alone would
+    miss a session whose config differs from the environment).
     """
     if src_path and src_path not in sys.path:
         sys.path.insert(0, src_path)
+    if config is not None:
+        install_config(config)
 
 
 def _member_analysis(member: str, module: Module, cache: FunctionAnalysisCache,
@@ -145,10 +155,15 @@ def evaluate_module_functions(module: Module,
 
     # Content addresses, computed before any conversion mutates the IR.
     keys: Dict[Tuple[str, str], str] = {}
+    touched_before = 0
     if store is not None:
         # The counters are cumulative on the store object (which serial runs
         # share across units), so report this unit's delta.
         hits_before, misses_before = store.hits, store.misses
+        # Read-only stores record hit keys (the LRU touch protocol); the
+        # coordinator applies this unit's delta via ``touch_many``.
+        # Writable stores touch directly inside ``get``.
+        touched_before = len(store.touched_keys)
         module_hash = text_hash(module_content_text(module))
         for function in functions:
             function_text = print_function(function)
@@ -218,6 +233,10 @@ def evaluate_module_functions(module: Module,
                 seen_disambiguators.add(id(disambiguator))
                 statistics = statistics.merge(disambiguator.statistics)
 
+    touched_keys: List[str] = []
+    if store is not None and store.readonly:
+        touched_keys = list(store.touched_keys[touched_before:])
+
     return {
         "kind": "aaeval",
         "name": name if name is not None else module.name,
@@ -229,6 +248,7 @@ def evaluate_module_functions(module: Module,
         "store_hits": store_hits,
         "store_misses": store_misses,
         "new_entries": new_entries,
+        "touched_keys": touched_keys,
         "pid": os.getpid(),
     }
 
@@ -317,6 +337,10 @@ def run_work_unit(unit: WorkUnit,
             payload["store_hits"] = 1  # the one unit-level lookup that hit
             payload["store_misses"] = 0
             payload["new_entries"] = []
+            # LRU touch: a read-only (worker-side) store ships the hit key
+            # back for the coordinator to promote; a writable store already
+            # touched it inside ``get``.
+            payload["touched_keys"] = [memo_key] if store.readonly else []
             payload["pid"] = os.getpid()
             return payload
     module = compile_source(unit.source, module_name=unit.name)
@@ -352,7 +376,14 @@ def execute(task: Tuple[WorkUnit, Optional[Tuple[str, str, str]]]) -> Dict[str, 
     unit, store_spec = task
     if store_spec is None:
         return run_work_unit(unit, store=None)
-    return run_work_unit(unit, store=_readonly_store(store_spec))
+    store = _readonly_store(store_spec)
+    try:
+        return run_work_unit(unit, store=store)
+    finally:
+        # Each unit's payload carries its own touched-key delta; dropping
+        # the consumed log keeps long-lived pool workers from accumulating
+        # one entry per store hit forever.
+        store.touched_keys.clear()
 
 
 def execute_indexed(task: Tuple[int, WorkUnit, Optional[Tuple[str, str, str]]]) \

@@ -41,10 +41,10 @@ environment variable (``sparse``/``dense``).
 
 from __future__ import annotations
 
-import os
 from heapq import heappop, heappush
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.api.config import resolved_range_solver
 from repro.ir.function import Function
 from repro.ir.instructions import (
     BinaryOp,
@@ -62,9 +62,15 @@ from repro.rangeanalysis.interval import Interval
 
 
 def default_range_solver() -> str:
-    """The solver requested through ``REPRO_RANGE_SOLVER`` (default sparse)."""
-    raw = os.environ.get("REPRO_RANGE_SOLVER", "").strip().lower()
-    return raw if raw in ("sparse", "dense") else "sparse"
+    """The configured solver (default ``sparse``).
+
+    Resolution — active :class:`~repro.api.config.ReproConfig` first, the
+    ``REPRO_RANGE_SOLVER`` environment variable second — lives in
+    :mod:`repro.api.config`; invalid values raise
+    :class:`~repro.api.config.ConfigError` there instead of silently
+    falling back.
+    """
+    return resolved_range_solver()
 
 
 class RangeStatistics:

@@ -22,6 +22,7 @@ import re
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.api.config import resolved_synth_seed
 from repro.frontend import compile_source
 from repro.ir.module import Module
 from repro.synth.csmith import CsmithConfig, RandomProgramGenerator
@@ -127,15 +128,18 @@ def compose_program(name: str, kernel_instances: Sequence[str],
 # The test-suite-like collection (Figures 8 and 11)
 # ---------------------------------------------------------------------------
 
-def testsuite_recipes(count: int = 100, base_seed: int = 7) \
+def testsuite_recipes(count: int = 100, base_seed: Optional[int] = None) \
         -> List[Tuple[str, List[str], List[Tuple[int, int, int, int]]]]:
     """The ``(name, kernels, random_specs)`` recipe of every collection program.
 
     All RNG draws happen here, in one place, so the compiled
     (:func:`build_testsuite_programs`) and source-only
     (:func:`build_testsuite_sources`) views of the collection are guaranteed
-    to describe the same programs.
+    to describe the same programs.  ``base_seed=None`` defers to the active
+    :class:`~repro.api.config.ReproConfig` / ``REPRO_SYNTH_SEED`` (default 7).
     """
+    if base_seed is None:
+        base_seed = resolved_synth_seed()
     rng = random.Random(base_seed)
     pools = list(POINTER_KERNEL_POOL) + list(ALLOC_KERNEL_POOL)
     recipes: List[Tuple[str, List[str], List[Tuple[int, int, int, int]]]] = []
@@ -152,7 +156,8 @@ def testsuite_recipes(count: int = 100, base_seed: int = 7) \
     return recipes
 
 
-def build_testsuite_programs(count: int = 100, base_seed: int = 7) -> List[WorkloadProgram]:
+def build_testsuite_programs(count: int = 100,
+                             base_seed: Optional[int] = None) -> List[WorkloadProgram]:
     """``count`` benchmark programs of (roughly) increasing size.
 
     Program ``i`` contains ``1 + i // 8`` kernel instances plus one random
@@ -163,7 +168,8 @@ def build_testsuite_programs(count: int = 100, base_seed: int = 7) -> List[Workl
             for name, kernels, random_specs in testsuite_recipes(count, base_seed)]
 
 
-def build_testsuite_sources(count: int = 100, base_seed: int = 7) -> List[Tuple[str, str]]:
+def build_testsuite_sources(count: int = 100,
+                            base_seed: Optional[int] = None) -> List[Tuple[str, str]]:
     """``(name, source)`` pairs of the collection, without compiling.
 
     The execution engine's coordinator hands these straight to worker

@@ -1,0 +1,196 @@
+"""Tests for the typed ``ReproConfig`` boundary.
+
+The documented precedence chain — explicit argument > ``ReproConfig``
+field > ``REPRO_*`` environment variable > default — plus validation:
+invalid values raise :class:`ConfigError` with a message naming the
+offending source, instead of silently falling back.
+"""
+
+import pickle
+
+import pytest
+
+from repro.api.config import (
+    ConfigError,
+    ReproConfig,
+    active_config,
+    env_flag,
+    env_float,
+    env_int,
+    install_config,
+    resolved_class_limit,
+    resolved_full_scale,
+    resolved_lt_solver,
+    resolved_range_solver,
+    resolved_store_backend,
+    resolved_store_max_bytes,
+    resolved_store_path,
+    resolved_synth_seed,
+    resolved_workers,
+)
+
+ALL_VARS = (
+    "REPRO_WORKERS", "REPRO_STORE", "REPRO_STORE_BACKEND",
+    "REPRO_STORE_MAX_MB", "REPRO_RANGE_SOLVER", "REPRO_LT_SOLVER",
+    "REPRO_CLASS_LIMIT", "REPRO_SYNTH_SEED", "REPRO_FULL",
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_environment(monkeypatch):
+    for name in ALL_VARS:
+        monkeypatch.delenv(name, raising=False)
+
+
+def test_defaults_without_environment():
+    config = ReproConfig()
+    assert config.workers == 0
+    assert config.store_path is None
+    assert config.store_backend is None
+    assert config.store_max_mb is None
+    assert config.store_max_bytes is None
+    assert config.range_solver == "sparse"
+    assert config.lt_solver == "sparse"
+    assert config.class_limit == 64
+    assert config.synth_seed == 7
+    assert config.full_scale is False
+
+
+def test_environment_resolution(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "4")
+    monkeypatch.setenv("REPRO_STORE", "/tmp/store.sqlite")
+    monkeypatch.setenv("REPRO_STORE_BACKEND", "pickle")
+    monkeypatch.setenv("REPRO_STORE_MAX_MB", "1.5")
+    monkeypatch.setenv("REPRO_RANGE_SOLVER", "dense")
+    monkeypatch.setenv("REPRO_LT_SOLVER", "constraint")
+    monkeypatch.setenv("REPRO_CLASS_LIMIT", "8")
+    monkeypatch.setenv("REPRO_SYNTH_SEED", "11")
+    monkeypatch.setenv("REPRO_FULL", "1")
+    config = ReproConfig()
+    assert config.workers == 4
+    assert config.store_path == "/tmp/store.sqlite"
+    assert config.store_backend == "pickle"
+    assert config.store_max_mb == 1.5
+    assert config.store_max_bytes == int(1.5 * 1024 * 1024)
+    assert config.range_solver == "dense"
+    assert config.lt_solver == "constraint"
+    assert config.class_limit == 8
+    assert config.synth_seed == 11
+    assert config.full_scale is True
+
+
+def test_explicit_field_beats_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "4")
+    monkeypatch.setenv("REPRO_STORE", "/tmp/env-store.sqlite")
+    monkeypatch.setenv("REPRO_RANGE_SOLVER", "dense")
+    config = ReproConfig(workers=1, store_path=None, range_solver="sparse")
+    assert config.workers == 1
+    assert config.store_path is None  # explicit None disables the env store
+    assert config.range_solver == "sparse"
+
+
+def test_zero_budget_means_unbounded():
+    assert ReproConfig(store_max_mb=0).store_max_bytes is None
+    assert ReproConfig(store_max_mb=2).store_max_bytes == 2 * 1024 * 1024
+
+
+@pytest.mark.parametrize("env_var,value", [
+    ("REPRO_WORKERS", "abc"),
+    ("REPRO_WORKERS", "-1"),
+    ("REPRO_STORE_MAX_MB", "-5"),
+    ("REPRO_STORE_MAX_MB", "lots"),
+    ("REPRO_STORE_BACKEND", "mysql"),
+    ("REPRO_RANGE_SOLVER", "nonsense"),
+    ("REPRO_LT_SOLVER", "bogus"),
+    ("REPRO_CLASS_LIMIT", "-3"),
+    ("REPRO_SYNTH_SEED", "x"),
+    ("REPRO_FULL", "maybe"),
+])
+def test_invalid_environment_values_raise(monkeypatch, env_var, value):
+    monkeypatch.setenv(env_var, value)
+    with pytest.raises(ConfigError, match=env_var):
+        ReproConfig()
+
+
+@pytest.mark.parametrize("field,value", [
+    ("workers", "abc"),
+    ("workers", -1),
+    ("store_max_mb", -0.5),
+    ("store_backend", "mysql"),
+    ("range_solver", "nonsense"),
+    ("lt_solver", "bogus"),
+    ("class_limit", -3),
+])
+def test_invalid_explicit_values_name_the_field(field, value):
+    with pytest.raises(ConfigError, match=field):
+        ReproConfig(**{field: value})
+
+
+def test_replace_revalidates():
+    config = ReproConfig(workers=2)
+    derived = config.replace(workers=5)
+    assert (config.workers, derived.workers) == (2, 5)
+    with pytest.raises(ConfigError, match="workers"):
+        config.replace(workers=-1)
+
+
+def test_active_config_wins_over_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "4")
+    monkeypatch.setenv("REPRO_RANGE_SOLVER", "dense")
+    config = ReproConfig(workers=0, range_solver="sparse", class_limit=0,
+                         store_path="/tmp/cfg.sqlite", store_backend="pickle",
+                         store_max_mb=1, lt_solver="constraint", synth_seed=3,
+                         full_scale=True)
+    assert active_config() is None
+    assert resolved_workers() == 4  # environment (no active config)
+    with config.activate():
+        assert active_config() is config
+        assert resolved_workers() == 0
+        assert resolved_range_solver() == "sparse"
+        assert resolved_lt_solver() == "constraint"
+        assert resolved_store_path() == "/tmp/cfg.sqlite"
+        assert resolved_store_backend() == "pickle"
+        assert resolved_store_max_bytes() == 1024 * 1024
+        assert resolved_class_limit() is None  # 0 = unlimited
+        assert resolved_synth_seed() == 3
+        assert resolved_full_scale() is True
+        # Nested configs shadow the outer one, then restore it.
+        with config.replace(workers=7).activate():
+            assert resolved_workers() == 7
+        assert resolved_workers() == 0
+    assert active_config() is None
+    assert resolved_workers() == 4
+
+
+def test_resolved_class_limit_default():
+    assert resolved_class_limit() == 64
+
+
+def test_install_config_is_idempotent():
+    config = ReproConfig(workers=3)
+    try:
+        install_config(config)
+        install_config(config)
+        assert resolved_workers() == 3
+    finally:
+        from repro.api import config as config_module
+        config_module._ACTIVE.clear()
+
+
+def test_config_is_hashable_and_picklable():
+    config = ReproConfig(workers=2, store_path="/tmp/s.pkl")
+    assert hash(config) == hash(ReproConfig(workers=2, store_path="/tmp/s.pkl"))
+    assert pickle.loads(pickle.dumps(config)) == config
+
+
+def test_env_helpers(monkeypatch):
+    assert env_int("REPRO_SCALING_WORKERS", 4) == 4
+    monkeypatch.setenv("REPRO_SCALING_WORKERS", "2")
+    assert env_int("REPRO_SCALING_WORKERS", 4) == 2
+    monkeypatch.setenv("REPRO_MIN_SPEEDUP", "2.5")
+    assert env_float("REPRO_MIN_SPEEDUP", 5.0) == 2.5
+    monkeypatch.setenv("REPRO_MIN_SPEEDUP", "fast")
+    with pytest.raises(ConfigError, match="REPRO_MIN_SPEEDUP"):
+        env_float("REPRO_MIN_SPEEDUP", 5.0)
+    monkeypatch.setenv("REPRO_FULL", "yes")
+    assert env_flag("REPRO_FULL") is True

@@ -184,11 +184,15 @@ def test_sparse_never_evaluates_more_than_legacy():
 
 
 def test_strategy_selection_via_environment(monkeypatch):
+    from repro.api.config import ConfigError
+
     monkeypatch.setenv("REPRO_LT_SOLVER", "constraint")
     assert default_lt_solver() == "constraint"
     assert ConstraintSolver([]).strategy == "constraint"
+    # Invalid values fail loudly at the config boundary (no silent fallback).
     monkeypatch.setenv("REPRO_LT_SOLVER", "bogus")
-    assert default_lt_solver() == "sparse"
+    with pytest.raises(ConfigError, match="REPRO_LT_SOLVER"):
+        default_lt_solver()
     monkeypatch.delenv("REPRO_LT_SOLVER")
     assert ConstraintSolver([]).strategy == "sparse"
     with pytest.raises(ValueError):

@@ -250,8 +250,14 @@ def test_env_defaults(monkeypatch):
     monkeypatch.setenv("REPRO_STORE", "/tmp/some-store.sqlite")
     assert default_workers() == 3
     assert default_store_path() == "/tmp/some-store.sqlite"
+    # Invalid values fail loudly at the config boundary (no silent fallback).
+    from repro.api.config import ConfigError
     monkeypatch.setenv("REPRO_WORKERS", "not-a-number")
-    assert default_workers() == 0
+    with pytest.raises(ConfigError, match="REPRO_WORKERS"):
+        default_workers()
+    monkeypatch.setenv("REPRO_WORKERS", "-2")
+    with pytest.raises(ConfigError, match="REPRO_WORKERS"):
+        default_workers()
 
 
 def test_store_budget_env_bounds_growth(tmp_path, monkeypatch):

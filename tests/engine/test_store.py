@@ -212,6 +212,8 @@ def test_readonly_store_refuses_eviction(tmp_path, backend):
 
 
 def test_default_store_max_bytes_parsing(monkeypatch):
+    from repro.api.config import ConfigError
+
     monkeypatch.delenv("REPRO_STORE_MAX_MB", raising=False)
     assert default_store_max_bytes() is None
     monkeypatch.setenv("REPRO_STORE_MAX_MB", "2")
@@ -220,5 +222,99 @@ def test_default_store_max_bytes_parsing(monkeypatch):
     assert default_store_max_bytes() == 512 * 1024
     monkeypatch.setenv("REPRO_STORE_MAX_MB", "0")
     assert default_store_max_bytes() is None
+    # Invalid values fail loudly at the config boundary (no silent fallback).
     monkeypatch.setenv("REPRO_STORE_MAX_MB", "not-a-number")
-    assert default_store_max_bytes() is None
+    with pytest.raises(ConfigError, match="REPRO_STORE_MAX_MB"):
+        default_store_max_bytes()
+    monkeypatch.setenv("REPRO_STORE_MAX_MB", "-1")
+    with pytest.raises(ConfigError, match="REPRO_STORE_MAX_MB"):
+        default_store_max_bytes()
+
+
+# ---------------------------------------------------------------------------
+# LRU approximation: lookups touch entries (generation promotion)
+# ---------------------------------------------------------------------------
+
+def test_touch_on_hit_approximates_lru(tmp_path, backend):
+    """A hit promotes the entry, so eviction reclaims cold entries first."""
+    path = str(tmp_path / "lru.bin")
+    with AnalysisStore(path, backend=backend) as store:  # generation 1
+        store.put("cold", PAYLOAD)
+        store.put("hot", PAYLOAD)
+    with AnalysisStore(path, backend=backend) as store:  # generation 2
+        assert store.get("hot") == PAYLOAD  # touch: hot -> generation 2
+        store.put("fresh", PAYLOAD)
+        total = store.size_bytes()
+        entry = total // 3
+        # Budget for two entries: the only generation-1 entry left is the
+        # untouched one, so FIFO would also drop "hot"; LRU keeps it.
+        evicted = store.evict(max_bytes=total - entry)
+        assert evicted == 1
+        assert "cold" not in store
+        assert "hot" in store
+        assert "fresh" in store
+
+
+def test_touch_without_eviction_is_invisible(tmp_path, backend):
+    """Touching must not change contents, counters or sizes."""
+    path = str(tmp_path / "t.bin")
+    with AnalysisStore(path, backend=backend) as store:
+        store.put("k", PAYLOAD)
+        size = store.size_bytes()
+    with AnalysisStore(path, backend=backend) as store:
+        assert store.get("k") == PAYLOAD
+        assert store.size_bytes() == size
+    with AnalysisStore(path, backend=backend) as store:
+        assert store.get("k") == PAYLOAD
+
+
+def test_readonly_reader_records_touched_keys(tmp_path, backend):
+    """The reader half of the writable-reader protocol: hits are logged."""
+    path = str(tmp_path / "ro-touch.bin")
+    with AnalysisStore(path, backend=backend) as store:
+        store.put_many([("a", PAYLOAD), ("b", PAYLOAD)])
+    reader = AnalysisStore(path, backend=backend, readonly=True)
+    try:
+        assert reader.get("a") == PAYLOAD
+        assert reader.get("missing") is None
+        assert reader.get("b") == PAYLOAD
+        assert reader.touched_keys == ["a", "b"]
+        with pytest.raises(RuntimeError):
+            reader.touch_many(["a"])
+    finally:
+        reader.close()
+
+
+def test_coordinator_applies_reader_touches(tmp_path, backend):
+    """touch_many (the writer half) promotes the shipped keys."""
+    path = str(tmp_path / "apply.bin")
+    with AnalysisStore(path, backend=backend) as store:  # generation 1
+        store.put_many([("a", PAYLOAD), ("b", PAYLOAD), ("c", PAYLOAD)])
+    with AnalysisStore(path, backend=backend) as store:  # generation 2
+        store.touch_many(["b"])  # as if a worker reported a hit on "b"
+        store.touch_many(["nonexistent"])  # missing keys are no-ops
+        total = store.size_bytes()
+        entry = total // 3
+        evicted = store.evict(max_bytes=entry)  # keep ~one entry
+        assert evicted == 2
+        assert store.keys() == ["b"]
+
+
+def test_touches_flush_on_put_many_without_close(tmp_path, backend):
+    """Buffered hits survive a write batch even if close() never runs."""
+    path = str(tmp_path / "no-close.bin")
+    with AnalysisStore(path, backend=backend) as store:  # generation 1
+        store.put("hot", PAYLOAD)
+    store = AnalysisStore(path, backend=backend)  # generation 2, never closed
+    assert store.get("hot") == PAYLOAD  # buffered touch
+    store.put("other", PAYLOAD)  # flushes the touch with the write batch
+    if backend == "sqlite":
+        # A second connection sees the promotion already.
+        with AnalysisStore(path, backend=backend, max_bytes=0,
+                           readonly=True) as reader:
+            generations = {key: generation
+                           for key, generation, _size in
+                           reader._backend.entry_info()}
+        assert generations["hot"] == 2
+    else:
+        assert dict((k, g) for k, g, _s in store._backend.entry_info())["hot"] == 2

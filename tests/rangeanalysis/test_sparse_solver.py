@@ -102,12 +102,16 @@ def test_statistics_shape():
 
 
 def test_solver_selection_via_environment(monkeypatch):
+    from repro.api.config import ConfigError
+
     monkeypatch.setenv("REPRO_RANGE_SOLVER", "dense")
     assert default_range_solver() == "dense"
     _module, function = build_counting_loop_module()
     assert RangeAnalysis(function).solver == "dense"
+    # Invalid values fail loudly at the config boundary (no silent fallback).
     monkeypatch.setenv("REPRO_RANGE_SOLVER", "nonsense")
-    assert default_range_solver() == "sparse"
+    with pytest.raises(ConfigError, match="REPRO_RANGE_SOLVER"):
+        default_range_solver()
     monkeypatch.delenv("REPRO_RANGE_SOLVER")
     assert RangeAnalysis(function).solver == "sparse"
     with pytest.raises(ValueError):
