@@ -20,6 +20,14 @@ contracts are enforced:
   fewer transfer-function evaluations overall,
 * the sparse path is not slower than the dense baseline in wall time
   (relaxable to ``REPRO_MAX_SPARSE_RATIO`` for noisy shared runners).
+
+On top of the solver comparison, the ``scc`` worklist policy (topological
+ranks + the unboxed ``IntervalTable`` inner loop) is measured against the
+``fifo`` replay policy — the "current sparse solver" baseline — with two
+MPRGP-style gates: it must run the chain-loop workload at least
+``MIN_SCC_SPEEDUP`` (1.3×, relaxable via ``REPRO_MIN_SCC_SPEEDUP``) faster
+in wall time, and it must not evaluate more transfer functions than the
+FIFO replay does.
 """
 
 import time
@@ -41,6 +49,9 @@ MIN_EVAL_REDUCTION = 3.0
 #: wall-clock gate; sparse must not be slower than dense (1.0), relaxed on
 #: noisy shared CI runners via the environment.
 MAX_SPARSE_RATIO = env_float("REPRO_MAX_SPARSE_RATIO", 1.0)
+#: wall-clock gate of the scc policy over the fifo replay on the chain-loop
+#: programs; relaxable on noisy shared CI runners via the environment.
+MIN_SCC_SPEEDUP = env_float("REPRO_MIN_SCC_SPEEDUP", 1.3)
 
 #: nested-loop kernels of the paper, for realism next to the synthetic chains.
 KERNEL_NAMES = ("ins_sort", "partition", "two_pointer_sum")
@@ -79,9 +90,10 @@ def _prepared_functions(name, source):
     return module, functions
 
 
-def _range_pass(functions, solver):
+def _range_pass(functions, solver, order="fifo"):
     """One full range-analysis pass; returns (analyses, evaluations)."""
-    analyses = [RangeAnalysis(function, solver=solver) for function in functions]
+    analyses = [RangeAnalysis(function, solver=solver, order=order)
+                for function in functions]
     return analyses, sum(analysis.statistics.evaluations for analysis in analyses)
 
 
@@ -108,10 +120,14 @@ def _measure_program(name, source):
         lambda: _range_pass(functions, "dense"), REPEATS)
     sparse_seconds, (sparse_analyses, sparse_evals) = _time_repeats(
         lambda: _range_pass(functions, "sparse"), REPEATS)
+    scc_seconds, (scc_analyses, scc_evals) = _time_repeats(
+        lambda: _range_pass(functions, "sparse", "scc"), REPEATS)
 
-    # Contract: identical fixed points, value for value.
-    for dense, sparse in zip(dense_analyses, sparse_analyses):
+    # Contract: identical fixed points, value for value — dense vs the fifo
+    # replay and dense vs the scc-ranked IntervalTable inner loop.
+    for dense, sparse, scc in zip(dense_analyses, sparse_analyses, scc_analyses):
         assert dense.ranges == sparse.ranges, name
+        assert dense.ranges == scc.ranges, name
 
     legacy_solution, legacy_stats = _lt_solve(module, functions, "constraint")
     sparse_solution, sparse_stats = _lt_solve(module, functions, "sparse")
@@ -122,15 +138,19 @@ def _measure_program(name, source):
         "values": sum(len(analysis.ranges) for analysis in sparse_analyses),
         "dense_evals": dense_evals,
         "sparse_evals": sparse_evals,
+        "scc_evals": scc_evals,
         "eval_reduction": round(dense_evals / sparse_evals, 2) if sparse_evals else 0.0,
         "lt_evals_legacy": legacy_stats.worklist_pops,
         "lt_evals_sparse": sparse_stats.worklist_pops,
         "lt_skip_ratio": round(sparse_stats.skip_ratio, 2),
         "dense_ms": round(1000.0 * dense_seconds / REPEATS, 2),
         "sparse_ms": round(1000.0 * sparse_seconds / REPEATS, 2),
+        "scc_ms": round(1000.0 * scc_seconds / REPEATS, 2),
         "speedup": round(dense_seconds / sparse_seconds, 2) if sparse_seconds else 0.0,
+        "scc_speedup": round(sparse_seconds / scc_seconds, 2) if scc_seconds else 0.0,
         "_dense_seconds": dense_seconds,
         "_sparse_seconds": sparse_seconds,
+        "_scc_seconds": scc_seconds,
     }
 
 
@@ -142,22 +162,32 @@ def test_sparse_solver_hotpath(benchmark):
     _bench_module, bench_functions = _prepared_functions(*programs[len(CHAIN_LINKS) - 1])
     benchmark(_range_pass, bench_functions, "sparse")
 
+    # Chain-loop subset totals for the scc wall-clock gate (the kernels are
+    # tiny; the chain programs are the workload the policy targets).
+    chain_sparse = sum(row["_sparse_seconds"] for row in rows[:len(CHAIN_LINKS)])
+    chain_scc = sum(row["_scc_seconds"] for row in rows[:len(CHAIN_LINKS)])
     total_dense = sum(row.pop("_dense_seconds") for row in rows)
     total_sparse = sum(row.pop("_sparse_seconds") for row in rows)
+    total_scc = sum(row.pop("_scc_seconds") for row in rows)
     dense_evals = sum(row["dense_evals"] for row in rows)
     sparse_evals = sum(row["sparse_evals"] for row in rows)
+    scc_evals = sum(row["scc_evals"] for row in rows)
     reduction = dense_evals / sparse_evals
     time_ratio = total_sparse / total_dense
+    scc_speedup = chain_sparse / chain_scc if chain_scc else 0.0
     rows.append({
         "benchmark": "TOTAL",
         "dense_evals": dense_evals,
         "sparse_evals": sparse_evals,
+        "scc_evals": scc_evals,
         "eval_reduction": round(reduction, 2),
         "lt_evals_legacy": sum(row["lt_evals_legacy"] for row in rows),
         "lt_evals_sparse": sum(row["lt_evals_sparse"] for row in rows),
         "dense_ms": round(1000.0 * total_dense / REPEATS, 2),
         "sparse_ms": round(1000.0 * total_sparse / REPEATS, 2),
+        "scc_ms": round(1000.0 * total_scc / REPEATS, 2),
         "speedup": round(total_dense / total_sparse, 2),
+        "scc_speedup": round(scc_speedup, 2),
         "repeats": REPEATS,
     })
     print_table("Solver hot path - sparse worklist vs dense sweeps", rows)
@@ -171,6 +201,13 @@ def test_sparse_solver_hotpath(benchmark):
         "sparse solver only cut evaluations by {:.2f}x".format(reduction)
     assert time_ratio <= MAX_SPARSE_RATIO, \
         "sparse path took {:.2f}x the dense wall time".format(time_ratio)
+    # MPRGP-style gates on the scc policy: faster than the fifo replay on the
+    # chain-loop workload, and never more transfer-function evaluations.
+    assert scc_speedup >= MIN_SCC_SPEEDUP, \
+        "scc policy only {:.2f}x faster than the fifo replay".format(scc_speedup)
+    assert scc_evals <= sparse_evals, \
+        "scc policy evaluated more than the fifo replay ({} > {})".format(
+            scc_evals, sparse_evals)
     # The sparse LT strategy never evaluates more constraints than the
     # legacy constraint-keyed scheme.
     for row in rows[:-1]:

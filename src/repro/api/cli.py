@@ -55,6 +55,9 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--lt-solver", default=None,
                        choices=("sparse", "constraint"),
                        help="less-than worklist strategy")
+    group.add_argument("--worklist-order", default=None,
+                       choices=("fifo", "scc", "loopdepth"),
+                       help="sparse-solver worklist ordering policy")
     group.add_argument("--class-limit", type=int, default=None, metavar="N",
                        help="equivalence-class truncation limit (0 = unlimited)")
     group.add_argument("--seed", type=int, default=None, metavar="N",
@@ -71,6 +74,7 @@ def _config_from_arguments(args: argparse.Namespace) -> ReproConfig:
             ("store_max_mb", "store_max_mb"),
             ("range_solver", "range_solver"),
             ("lt_solver", "lt_solver"),
+            ("worklist_order", "worklist_order"),
             ("class_limit", "class_limit"),
             ("synth_seed", "seed")):
         value = getattr(args, attribute, None)
@@ -242,7 +246,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             for function in unit.module.defined_functions():
                 for key, value in (session.cache.ranges(function)
                                    .statistics.as_dict().items()):
-                    range_totals[key] = range_totals.get(key, 0) + value
+                    if isinstance(value, (int, float)):
+                        range_totals[key] = range_totals.get(key, 0) + value
 
         print("module {}: {} instructions, {} functions".format(
             name, unit.module.instruction_count(),
@@ -254,13 +259,20 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print("[range analysis]    solver={}".format(session.config.range_solver))
         for key, value in range_totals.items():
             print("  {:24s} {}".format(key, value))
+        print("[solver]            order={}".format(session.config.worklist_order))
+        for key, value in report.statistics.solver.as_dict().items():
+            if key == "pops":
+                for order, count in value.items():
+                    print("  {:24s} {}".format("pops[{}]".format(order), count))
+            else:
+                print("  {:24s} {}".format(key, value))
         print("[disambiguation]    class_limit={}".format(
             session.config.class_limit))
         print("  {:24s} {}".format("queries", report.queries))
         print("  {:24s} {}".format("no_alias", report.no_alias_count))
         print("  {:24s} {:.2%}".format("no_alias_ratio", report.no_alias_ratio))
         for key, value in report.statistics.as_dict().items():
-            if key != "queries":
+            if key not in ("queries", "solver"):
                 print("  {:24s} {}".format(key, value))
         print("[cache]")
         for key, value in session.statistics()["cache"].items():

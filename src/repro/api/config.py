@@ -41,6 +41,7 @@ field                environment variable     default
 ``store_max_mb``     ``REPRO_STORE_MAX_MB``   ``None`` (unbounded)
 ``range_solver``     ``REPRO_RANGE_SOLVER``   ``"sparse"``
 ``lt_solver``        ``REPRO_LT_SOLVER``      ``"sparse"``
+``worklist_order``   ``REPRO_WORKLIST_ORDER`` ``"fifo"``
 ``class_limit``      ``REPRO_CLASS_LIMIT``    ``64`` (``0`` = unlimited)
 ``synth_seed``       ``REPRO_SYNTH_SEED``     ``7``
 ``full_scale``       ``REPRO_FULL``           ``False``
@@ -83,6 +84,10 @@ UNSET = _Unset()
 #: accepted solver names, by field.
 RANGE_SOLVERS = ("sparse", "dense")
 LT_SOLVERS = ("sparse", "constraint")
+#: worklist-ordering policies of the sparse solvers (mirrors
+#: ``repro.util.worklist.WORKLIST_ORDERS`` — this module imports nothing
+#: from the rest of the package by design).
+WORKLIST_ORDERS = ("fifo", "scc", "loopdepth")
 STORE_BACKENDS = ("sqlite", "pickle")
 
 _FALSEY = ("", "0", "false", "no", "off")
@@ -227,6 +232,17 @@ def _resolve_lt_solver(value: object) -> str:
                          LT_SOLVERS)
 
 
+def _resolve_worklist_order(value: object) -> str:
+    if isinstance(value, _Unset):
+        raw = _env("REPRO_WORKLIST_ORDER")
+        if raw is None:
+            return "fifo"
+        return _parse_choice("worklist_order", "REPRO_WORKLIST_ORDER", raw,
+                             True, WORKLIST_ORDERS)
+    return _parse_choice("worklist_order", "REPRO_WORKLIST_ORDER", value,
+                         False, WORKLIST_ORDERS)
+
+
 def _resolve_class_limit(value: object) -> int:
     if isinstance(value, _Unset):
         raw = _env("REPRO_CLASS_LIMIT")
@@ -274,6 +290,7 @@ class ReproConfig:
     store_max_mb: Optional[float] = UNSET    # type: ignore[assignment]
     range_solver: str = UNSET                # type: ignore[assignment]
     lt_solver: str = UNSET                   # type: ignore[assignment]
+    worklist_order: str = UNSET              # type: ignore[assignment]
     class_limit: int = UNSET                 # type: ignore[assignment]
     synth_seed: int = UNSET                  # type: ignore[assignment]
     full_scale: bool = UNSET                 # type: ignore[assignment]
@@ -286,6 +303,8 @@ class ReproConfig:
         resolve(self, "store_max_mb", _resolve_store_max_mb(self.store_max_mb))
         resolve(self, "range_solver", _resolve_range_solver(self.range_solver))
         resolve(self, "lt_solver", _resolve_lt_solver(self.lt_solver))
+        resolve(self, "worklist_order",
+                _resolve_worklist_order(self.worklist_order))
         resolve(self, "class_limit", _resolve_class_limit(self.class_limit))
         resolve(self, "synth_seed", _resolve_synth_seed(self.synth_seed))
         resolve(self, "full_scale", _resolve_full_scale(self.full_scale))
@@ -397,6 +416,12 @@ def resolved_range_solver() -> str:
 def resolved_lt_solver() -> str:
     config = active_config()
     return config.lt_solver if config is not None else _resolve_lt_solver(UNSET)
+
+
+def resolved_worklist_order() -> str:
+    config = active_config()
+    return (config.worklist_order if config is not None
+            else _resolve_worklist_order(UNSET))
 
 
 def resolved_class_limit() -> Optional[int]:

@@ -44,6 +44,7 @@ from repro.api.config import resolved_class_limit
 from repro.core.lessthan.analysis import LessThanAnalysis
 from repro.ir.instructions import Copy, GetElementPtr, Instruction
 from repro.ir.values import Argument, ConstantInt, Value
+from repro.util.worklist import SolverInfo
 
 
 class DisambiguationReason(enum.Enum):
@@ -63,7 +64,9 @@ class DisambiguationStatistics:
     ``truncated_classes`` counts equivalence classes that exceeded the
     traversal limit (the members kept are chosen deterministically, but
     precision may be lost); ``largest_class`` records the biggest class seen
-    before truncation.
+    before truncation.  ``solver`` carries the fixed-point solver counters
+    (:class:`~repro.util.worklist.SolverInfo`) of the analyses behind the
+    verdicts, so they survive the engine's shard/merge path.
     """
 
     def __init__(self) -> None:
@@ -71,6 +74,7 @@ class DisambiguationStatistics:
         self.truncated_classes = 0
         self.largest_class = 0
         self.memoized_values = 0
+        self.solver = SolverInfo()
 
     def record_class(self, size: int, truncated: bool) -> None:
         self.largest_class = max(self.largest_class, size)
@@ -82,13 +86,16 @@ class DisambiguationStatistics:
 
         Counters sum; ``largest_class`` is a maximum, so the merged value is
         the maximum over shards — exactly what a single-process run over the
-        union of the shards would have recorded.
+        union of the shards would have recorded.  Solver counters merge
+        losslessly too, which is what keeps ``repro stats`` totals identical
+        between serial and multi-worker runs.
         """
         merged = DisambiguationStatistics()
         merged.queries = self.queries + other.queries
         merged.truncated_classes = self.truncated_classes + other.truncated_classes
         merged.largest_class = max(self.largest_class, other.largest_class)
         merged.memoized_values = self.memoized_values + other.memoized_values
+        merged.solver = self.solver.merge(other.solver)
         return merged
 
     @classmethod
@@ -98,6 +105,7 @@ class DisambiguationStatistics:
         statistics.truncated_classes = int(data.get("truncated_classes", 0))
         statistics.largest_class = int(data.get("largest_class", 0))
         statistics.memoized_values = int(data.get("memoized_values", 0))
+        statistics.solver = SolverInfo.from_dict(data.get("solver", {}) or {})
         return statistics
 
     def as_dict(self) -> Dict[str, int]:
@@ -106,6 +114,7 @@ class DisambiguationStatistics:
             "truncated_classes": self.truncated_classes,
             "largest_class": self.largest_class,
             "memoized_values": self.memoized_values,
+            "solver": self.solver.as_dict(),
         }
 
     def __repr__(self) -> str:
@@ -228,6 +237,14 @@ class PointerDisambiguator:
             class_limit = None
         self.class_limit = class_limit
         self.statistics = DisambiguationStatistics()
+        # Fold the fixed-point solver counters of the underlying analyses in
+        # at construction: the less-than constraint solve plus every
+        # per-function range solve.  They ride along with the query counters
+        # through the engine's payload/merge path from here on.
+        solver = analysis.statistics.solver_info()
+        for range_analysis in analysis.ranges.values():
+            solver = solver.merge(range_analysis.statistics.solver_info())
+        self.statistics.solver = solver
         # Indexed per-value tables (identity-keyed: Values hash by identity).
         self._canonical: Dict[Value, Value] = {}
         self._decomposition: Dict[Value, Tuple[Value, Optional[Value]]] = {}

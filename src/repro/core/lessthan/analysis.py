@@ -55,14 +55,19 @@ class LessThanAnalysis:
         constraint-keyed scheme).  ``None`` defers to ``REPRO_LT_SOLVER``.
         Both reach the same fixed point; the knob exists for differential
         tests and the solver hot-path benchmark.
+    worklist_order:
+        Pop-order policy of the sparse strategy (``"fifo"``/``"scc"``/
+        ``"loopdepth"``); ``None`` defers to ``REPRO_WORKLIST_ORDER``.
     """
 
     def __init__(self, subject: Union[Function, Module], build_essa: bool = True,
                  interprocedural: bool = True, cache: Optional[object] = None,
-                 solver_strategy: Optional[str] = None) -> None:
+                 solver_strategy: Optional[str] = None,
+                 worklist_order: Optional[str] = None) -> None:
         self.subject = subject
         self.cache = cache
         self.solver_strategy = solver_strategy
+        self.worklist_order = worklist_order
         self.functions: List[Function] = (
             [subject] if isinstance(subject, Function)
             else [f for f in subject.functions if not f.is_declaration()]
@@ -98,7 +103,8 @@ class LessThanAnalysis:
                 self.subject, interprocedural=interprocedural)
         else:
             self.constraints = generator.generate_for_function(self.subject)
-        solver = ConstraintSolver(self.constraints, strategy=self.solver_strategy)
+        solver = ConstraintSolver(self.constraints, strategy=self.solver_strategy,
+                                  order=self.worklist_order)
         self.lt_sets = solver.solve()
         self.statistics = solver.statistics
 

@@ -18,6 +18,16 @@ point regardless of evaluation order, which the differential tests assert):
 * ``constraint`` — the legacy scheme: the worklist holds whole constraints
   and a change re-pushes every dependent constraint individually.
 
+The sparse strategy's pop order is a swappable policy shared with the range
+solver (``order`` constructor argument / ``REPRO_WORKLIST_ORDER``): ``fifo``
+is the legacy queue, ``scc`` pops variables in the condensation
+(topological SCC) order of the constraint dependency graph — sources before
+the variables they constrain, so each variable tends to see all its inputs
+settled before it is revisited — and ``loopdepth`` falls back to the
+``scc`` ranks (constraints carry no loop structure).  The fixed point is
+the same under every policy (descending iteration on a finite lattice);
+only the visit counts differ.
+
 The solver records the statistics the paper reports in Section 4.2: number
 of constraints, number of constraint (re-)evaluations, and the
 visits-per-constraint ratio (the paper measures about 2.1 visits per
@@ -32,10 +42,16 @@ from __future__ import annotations
 import time
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
 
-from repro.api.config import resolved_lt_solver
+from repro.api.config import resolved_lt_solver, resolved_worklist_order
 from repro.core.lessthan.constraints import Constraint, LTState, TOP
 from repro.ir.values import Value
-from repro.util.worklist import Worklist
+from repro.rangeanalysis.graph import strongly_connected_components
+from repro.util.worklist import (
+    PriorityWorklist,
+    SolverInfo,
+    Worklist,
+    validate_order,
+)
 
 
 def default_lt_solver() -> str:
@@ -65,6 +81,18 @@ class SolverStatistics:
         self.variable_pops = 0
         self.coalesced_pushes = 0
         self.solve_time_seconds = 0.0
+        self.order = "fifo"
+
+    def solver_info(self) -> SolverInfo:
+        """These counters as a mergeable cross-solver :class:`SolverInfo`.
+
+        Constraint evaluations map onto ``evaluations`` (there is no widening
+        on the finite LT lattice); variable pops are keyed by the ordering
+        policy that served them.
+        """
+        info = SolverInfo(evaluations=self.worklist_pops)
+        info.record_pops(self.order, self.variable_pops)
+        return info
 
     @property
     def pops_per_constraint(self) -> float:
@@ -91,6 +119,7 @@ class SolverStatistics:
             "coalesced_pushes": self.coalesced_pushes,
             "skip_ratio": self.skip_ratio,
             "solve_time_seconds": self.solve_time_seconds,
+            "order": self.order,
         }
 
     def __repr__(self) -> str:
@@ -102,12 +131,15 @@ class ConstraintSolver:
     """Solves a system of less-than constraints to a fixed point."""
 
     def __init__(self, constraints: Sequence[Constraint],
-                 strategy: Optional[str] = None) -> None:
+                 strategy: Optional[str] = None,
+                 order: Optional[str] = None) -> None:
         self.constraints: List[Constraint] = list(constraints)
         self.strategy = strategy or default_lt_solver()
         if self.strategy not in ("sparse", "constraint"):
             raise ValueError("unknown solver strategy {!r}".format(self.strategy))
+        self.order = validate_order(order or resolved_worklist_order())
         self.statistics = SolverStatistics()
+        self.statistics.order = self.order
         # Dependency map: which constraints must be re-evaluated when the LT
         # set of a given variable changes.
         self._dependents: Dict[Value, List[Constraint]] = {}
@@ -136,6 +168,37 @@ class ConstraintSolver:
             result[value] = frozenset() if lt_set is TOP else lt_set  # type: ignore[assignment]
         return result
 
+    def _policy_ranks(self) -> Optional[Dict[Value, int]]:
+        """Variable pop ranks for the active ordering policy.
+
+        ``fifo`` needs none (insertion order).  ``scc`` — and ``loopdepth``,
+        which degrades to it here — ranks every variable by the topological
+        position of its SCC in the condensation of the constraint dependency
+        graph (an edge per constraint, source → target), so a popped variable
+        tends to have all its sources already settled.
+        """
+        if self.order == "fifo":
+            return None
+        nodes: List[Value] = []
+        successors: Dict[Value, List[Value]] = {}
+
+        def add_node(value: Value) -> None:
+            if value not in successors:
+                nodes.append(value)
+                successors[value] = []
+
+        for constraint in self.constraints:
+            add_node(constraint.target)
+            for source in constraint.sources():
+                add_node(source)
+                successors[source].append(constraint.target)
+        components = strongly_connected_components(nodes, successors)
+        ranks: Dict[Value, int] = {}
+        for rank, component in enumerate(reversed(components)):
+            for value in component:
+                ranks[value] = rank
+        return ranks
+
     def _solve_sparse(self, state: LTState) -> None:
         """Variable-keyed worklist: re-evaluate only affected dependents.
 
@@ -143,17 +206,19 @@ class ConstraintSolver:
         the constraint's last evaluation, so the solver keeps a global step
         counter, stamps every evaluation and every state change, and skips
         dependents whose last evaluation already saw the change.  Changes to
-        the same variable coalesce into one pending entry.
+        the same variable coalesce into one pending entry (the shared
+        :class:`~repro.util.worklist.PriorityWorklist` counts them), and the
+        pop order follows the policy ranks of :meth:`_policy_ranks`.
         """
-        worklist: Worklist[Value] = Worklist()
+        worklist: PriorityWorklist[Value] = PriorityWorklist(self._policy_ranks())
         evaluations = 0
-        coalesced = 0
+        skipped = 0
         step = 0
         last_evaluated: Dict[int, int] = {}
         last_changed: Dict[Value, int] = {}
 
         def apply(constraint: Constraint) -> None:
-            nonlocal evaluations, coalesced, step
+            nonlocal evaluations, step
             step += 1
             evaluations += 1
             last_evaluated[id(constraint)] = step
@@ -163,8 +228,7 @@ class ConstraintSolver:
             if updated != current:
                 state[constraint.target] = updated
                 last_changed[constraint.target] = step
-                if not worklist.push(constraint.target):
-                    coalesced += 1
+                worklist.push(constraint.target)
 
         # Seed pass: every constraint is visited exactly once; only variables
         # whose sets shrank enter the worklist.
@@ -177,12 +241,12 @@ class ConstraintSolver:
                 if last_evaluated.get(id(dependent), 0) >= changed_at:
                     # Evaluated after the change it is being notified of —
                     # re-running the transfer function would be a no-op.
-                    coalesced += 1
+                    skipped += 1
                     continue
                 apply(dependent)
         self.statistics.worklist_pops = evaluations
         self.statistics.variable_pops = worklist.pops
-        self.statistics.coalesced_pushes = coalesced
+        self.statistics.coalesced_pushes = worklist.coalesced + skipped
 
     def _solve_constraint_keyed(self, state: LTState) -> None:
         """Legacy scheme: the worklist holds whole constraints."""

@@ -64,7 +64,8 @@ except ImportError:  # pragma: no cover
 #: in a way that makes previously persisted entries stale or unreachable.
 #: v2: function-level keys encode the interprocedural mode.
 #: v3: entries carry generation and size columns (growth management).
-STORE_VERSION = "aaeval-3"
+#: v4: persisted statistics payloads carry solver (SolverInfo) counters.
+STORE_VERSION = "aaeval-4"
 
 
 def default_store_max_bytes() -> Optional[int]:

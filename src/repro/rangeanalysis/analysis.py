@@ -37,14 +37,26 @@ Two solver implementations compute the fixed point of a cyclic component:
 
 Select with the ``solver`` constructor argument or the ``REPRO_RANGE_SOLVER``
 environment variable (``sparse``/``dense``).
+
+On top of the solver choice, the *worklist order* is a swappable policy
+(``order`` constructor argument / ``REPRO_WORKLIST_ORDER``):
+
+* ``fifo`` (default) — member-index ranks; the sparse solver replays the
+  dense trajectory bit-identically on ``Interval`` objects.
+* ``scc`` — intra-component reverse-postorder ranks; the inner loop runs on
+  an unboxed :class:`~repro.rangeanalysis.interval.IntervalTable` with
+  members precompiled to opcode tuples (no isinstance dispatch, no dict
+  probes, no Interval allocation) and boxes results back at the component
+  boundary.
+* ``loopdepth`` — like ``scc`` but ranked by loop-nesting depth first
+  (outermost values first), topological rank second.
 """
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.api.config import resolved_range_solver
+from repro.api.config import resolved_range_solver, resolved_worklist_order
 from repro.ir.function import Function
 from repro.ir.instructions import (
     BinaryOp,
@@ -55,10 +67,30 @@ from repro.ir.instructions import (
     Load,
     Phi,
 )
+from repro.ir.loops import LoopInfo
 from repro.ir.values import Argument, ConstantInt, Undef, Value
 from repro.passes.pass_base import AnalysisPass
-from repro.rangeanalysis.graph import DependencyGraph
-from repro.rangeanalysis.interval import Interval
+from repro.rangeanalysis.graph import DependencyGraph, SCCComponent
+from repro.rangeanalysis.interval import (
+    Interval,
+    IntervalTable,
+    NEG_INF,
+    POS_INF,
+    bounds_add,
+    bounds_div,
+    bounds_join,
+    bounds_meet,
+    bounds_mul,
+    bounds_narrow,
+    bounds_refine_greater_equal,
+    bounds_refine_greater_than,
+    bounds_refine_less_equal,
+    bounds_refine_less_than,
+    bounds_rem,
+    bounds_sub,
+    bounds_widen,
+)
+from repro.util.worklist import SolverInfo, SweepWorklist, validate_order
 
 
 def default_range_solver() -> str:
@@ -79,6 +111,8 @@ class RangeStatistics:
     ``evaluations`` counts transfer-function applications — the quantity the
     sparse solver exists to reduce, and what
     ``benchmarks/bench_solver_hotpath.py`` compares across solvers.
+    ``pops``/``coalesced_pushes`` account the worklist traffic under the
+    active ordering policy (``order``).
     """
 
     def __init__(self) -> None:
@@ -88,6 +122,20 @@ class RangeStatistics:
         self.widenings = 0
         self.narrowings = 0
         self.widening_points = 0
+        self.order = "fifo"
+        self.pops = 0
+        self.coalesced_pushes = 0
+
+    def solver_info(self) -> SolverInfo:
+        """These counters as a mergeable cross-solver :class:`SolverInfo`."""
+        info = SolverInfo(
+            evaluations=self.evaluations,
+            widenings=self.widenings,
+            narrowings=self.narrowings,
+            sccs=self.components,
+            cyclic_sccs=self.cyclic_components)
+        info.record_pops(self.order, self.pops)
+        return info
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -97,6 +145,9 @@ class RangeStatistics:
             "widenings": self.widenings,
             "narrowings": self.narrowings,
             "widening_points": self.widening_points,
+            "order": self.order,
+            "pops": self.pops,
+            "coalesced_pushes": self.coalesced_pushes,
         }
 
     def __repr__(self) -> str:
@@ -114,17 +165,27 @@ class RangeAnalysis:
     #: bound on narrowing iterations (narrowing always terminates, this is a
     #: belt-and-braces fuel limit).
     MAX_NARROWING_ITERATIONS = 16
+    #: pre-widening budget of the ranked (scc/loopdepth) table solver, in
+    #: sweeps.  A topologically ranked sweep propagates one *full* round of
+    #: the cycle (φ-rooted, single back-edge wrap), whereas the dense member
+    #: order advances roughly one value per sweep — so one ranked sweep is
+    #: the equivalent of the legacy ``ITERATIONS_BEFORE_WIDENING`` budget,
+    #: and a larger value only multiplies full-component rounds.
+    RANKED_ITERATIONS_BEFORE_WIDENING = 1
 
     def __init__(self, function: Function,
                  argument_ranges: Optional[Dict[Argument, Interval]] = None,
-                 solver: Optional[str] = None) -> None:
+                 solver: Optional[str] = None,
+                 order: Optional[str] = None) -> None:
         self.function = function
         self.argument_ranges = argument_ranges or {}
         self.ranges: Dict[Value, Interval] = {}
         self.solver = solver or default_range_solver()
         if self.solver not in ("sparse", "dense"):
             raise ValueError("unknown range solver {!r}".format(self.solver))
+        self.order = validate_order(order or resolved_worklist_order())
         self.statistics = RangeStatistics()
+        self.statistics.order = self.order
         #: values whose bounds widening actually changed — the per-value
         #: widening points (back-edge φ/σ nodes and the chains they feed).
         self.widening_points: Set[Value] = set()
@@ -149,25 +210,45 @@ class RangeAnalysis:
     def _run(self) -> None:
         if self.function.is_declaration():
             return
-        graph = DependencyGraph(self.function)
-        solve_cyclic = (self._solve_cyclic_sparse if self.solver == "sparse"
-                        else self._solve_cyclic_dense)
-        for node in graph.nodes:
+        schedule = DependencyGraph(self.function).condense()
+        depth_of = self._loop_depth_of() if self.order == "loopdepth" else None
+        for node in schedule.graph.nodes:
             self.ranges[node] = Interval.bottom()
-        for component in graph.components_in_topological_order():
+        for component in schedule:
             self.statistics.components += 1
-            if graph.component_is_cyclic(component):
-                self.statistics.cyclic_components += 1
-                solve_cyclic(component, graph)
+            if not component.cyclic:
+                # Topological order makes a single evaluation final here; no
+                # widening, no worklist.
+                self._solve_acyclic(component.members[0])
+                continue
+            self.statistics.cyclic_components += 1
+            if self.solver == "dense":
+                self._solve_cyclic_dense(component.members)
+            elif self.order == "fifo":
+                self._solve_cyclic_sparse(component)
             else:
-                self._solve_acyclic(component[0])
+                self._solve_cyclic_table(component, depth_of)
         self.statistics.widening_points = len(self.widening_points)
+
+    def _loop_depth_of(self) -> Callable[[Value], int]:
+        """Loop-nesting depth of a value, for the ``loopdepth`` policy ranks."""
+        info = LoopInfo(self.function)
+        depths: Dict[Value, int] = {}
+
+        def depth_of(value: Value) -> int:
+            cached = depths.get(value)
+            if cached is None:
+                block = getattr(value, "parent", None)
+                cached = info.loop_depth(block) if block is not None else 0
+                depths[value] = cached
+            return cached
+
+        return depth_of
 
     def _solve_acyclic(self, value: Value) -> None:
         self.ranges[value] = self._evaluate(value)
 
-    def _solve_cyclic_dense(self, component: List[Value],
-                            _graph: DependencyGraph) -> None:
+    def _solve_cyclic_dense(self, component: List[Value]) -> None:
         """Reference solver: full sweeps over the component until stable."""
         members = list(component)
         # Phase 1: plain iteration, then widening until stabilisation.
@@ -205,59 +286,49 @@ class RangeAnalysis:
             if not changed:
                 break
 
-    def _solve_cyclic_sparse(self, component: List[Value],
-                             graph: DependencyGraph) -> None:
+    def _harvest(self, worklist: SweepWorklist) -> None:
+        """Fold a drained worklist's traffic counters into the statistics."""
+        self.statistics.pops += worklist.pops
+        self.statistics.coalesced_pushes += worklist.coalesced
+
+    def _solve_cyclic_sparse(self, component: SCCComponent) -> None:
         """Change-driven solver: re-evaluate only users of changed values.
 
-        The worklist holds ``(sweep, member index)`` pairs ordered like the
-        dense solver's sweeps: when the value at index ``i`` changes during
-        sweep ``s``, a user at index ``j > i`` is re-evaluated later in the
-        same sweep (it would have seen the update in the dense Gauss–Seidel
-        pass too) and a user at ``j <= i`` in sweep ``s + 1``.  Values whose
-        operands did not change are skipped outright — their re-evaluation
-        would reproduce the stored interval, so the dense sweep's visit is a
-        no-op there.  The per-phase sweep limits are shared with the dense
-        solver, which makes the two solvers' results bit-identical.
+        The :class:`~repro.util.worklist.SweepWorklist` holds member indices
+        keyed ``(sweep, rank)``; under the ``fifo`` policy ranks are member
+        indices, which replays the dense solver's Gauss–Seidel sweeps: when
+        the value at index ``i`` changes during sweep ``s``, a user at index
+        ``j > i`` is re-evaluated later in the same sweep (it would have seen
+        the update in the dense pass too) and a user at ``j <= i`` in sweep
+        ``s + 1``.  Values whose operands did not change are skipped outright
+        — their re-evaluation would reproduce the stored interval, so the
+        dense sweep's visit is a no-op there.  The per-phase sweep limits are
+        shared with the dense solver, which makes the two solvers' results
+        bit-identical.
         """
-        members = list(component)
-        count = len(members)
-        index_of = {value: index for index, value in enumerate(members)}
-        users: List[List[int]] = []
-        for value in members:
-            users.append(sorted({index_of[user]
-                                 for user in graph.successors.get(value, [])
-                                 if user in index_of}))
+        members = component.members
+        users = component.users
         ranges = self.ranges
         statistics = self.statistics
 
-        heap: List[Tuple[int, int]] = [(0, index) for index in range(count)]
-        pending: Set[Tuple[int, int]] = set(heap)
-
-        def schedule(sweep: int, source_index: int) -> None:
-            for target_index in users[source_index]:
-                entry = (sweep if target_index > source_index else sweep + 1,
-                         target_index)
-                if entry not in pending:
-                    pending.add(entry)
-                    heappush(heap, entry)
-
+        worklist = SweepWorklist(component.ranks("fifo"))
         # Phase 1a: bounded chaotic iteration.
-        while heap and heap[0][0] < self.ITERATIONS_BEFORE_WIDENING:
-            entry = heappop(heap)
-            pending.discard(entry)
-            sweep, index = entry
+        while True:
+            sweep = worklist.next_sweep()
+            if sweep is None or sweep >= self.ITERATIONS_BEFORE_WIDENING:
+                break
+            sweep, index = worklist.pop()
             value = members[index]
             new = self._evaluate(value)
             if new != ranges[value]:
                 ranges[value] = new
-                schedule(sweep, index)
-        if not heap:
+                worklist.schedule(sweep, index, users[index])
+        if not worklist:
+            self._harvest(worklist)
             return
         # Phase 1b: widening until the change frontier drains.
-        while heap:
-            entry = heappop(heap)
-            pending.discard(entry)
-            sweep, index = entry
+        while worklist:
+            sweep, index = worklist.pop()
             value = members[index]
             widened = ranges[value].widen(self._evaluate(value))
             if widened != ranges[value]:
@@ -265,22 +336,227 @@ class RangeAnalysis:
                 if value not in self.widening_points:
                     self.widening_points.add(value)
                 statistics.widenings += 1
-                schedule(sweep, index)
+                worklist.schedule(sweep, index, users[index])
+        self._harvest(worklist)
         # Phase 2: narrowing.  Every member re-enters once — the transfer
         # changes from widening to narrowing, so "operands unchanged" no
         # longer implies a no-op — then only users of refined values follow.
-        heap = [(0, index) for index in range(count)]
-        pending = set(heap)
-        while heap and heap[0][0] < self.MAX_NARROWING_ITERATIONS:
-            entry = heappop(heap)
-            pending.discard(entry)
-            sweep, index = entry
+        worklist = SweepWorklist(component.ranks("fifo"))
+        while True:
+            sweep = worklist.next_sweep()
+            if sweep is None or sweep >= self.MAX_NARROWING_ITERATIONS:
+                break
+            sweep, index = worklist.pop()
             value = members[index]
             narrowed = ranges[value].narrow(self._evaluate(value))
             if narrowed != ranges[value]:
                 ranges[value] = narrowed
                 statistics.narrowings += 1
-                schedule(sweep, index)
+                worklist.schedule(sweep, index, users[index])
+        self._harvest(worklist)
+
+    # -- unboxed (IntervalTable) solver ------------------------------------------------
+    #
+    # Opcodes of the precompiled transfer functions.  Every member of a
+    # cyclic component compiles to one tuple; operands are IntervalTable
+    # handles (member slots first, then preloaded external slots), so the
+    # inner loop touches only flat lists and local ints.
+    _OP_CONST = 0    # (op, lower, upper)                fixed interval
+    _OP_ADD = 1      # (op, lhs, rhs)
+    _OP_SUB = 2      # (op, lhs, rhs)
+    _OP_MUL = 3      # (op, lhs, rhs)
+    _OP_DIV = 4      # (op, lhs, rhs)
+    _OP_REM = 5      # (op, lhs, rhs)
+    _OP_PHI = 6      # (op, (incoming, ...))
+    _OP_COPY = 7     # (op, source)
+    _OP_SIGMA = 8    # (op, source, other, refine_kernel)
+
+    #: σ-refinement kernels by (already NEGATED/SWAPPED-resolved) predicate.
+    _REFINE_KERNELS = {
+        "slt": bounds_refine_less_than,
+        "sle": bounds_refine_less_equal,
+        "sgt": bounds_refine_greater_than,
+        "sge": bounds_refine_greater_equal,
+        "eq": bounds_meet,
+    }
+
+    def _compile_component(self, members: List[Value],
+                           index_of: Dict[Value, int],
+                           table: IntervalTable) -> List[tuple]:
+        """Precompile each member's transfer function to an opcode tuple.
+
+        External operands (values of earlier components, constants, undef)
+        are final by topological order, so they are preloaded into extra
+        table slots once and addressed by handle like everything else.
+        """
+        extern: Dict[Value, int] = {}
+
+        def handle_of(operand: Value) -> int:
+            index = index_of.get(operand)
+            if index is not None:
+                return index
+            handle = extern.get(operand)
+            if handle is None:
+                handle = table.alloc(self._operand_range(operand))
+                extern[operand] = handle
+            return handle
+
+        binary_ops = {"add": self._OP_ADD, "sub": self._OP_SUB,
+                      "mul": self._OP_MUL, "div": self._OP_DIV,
+                      "rem": self._OP_REM}
+        compiled: List[tuple] = []
+        for value in members:
+            if isinstance(value, BinaryOp) and value.op in binary_ops:
+                compiled.append((binary_ops[value.op],
+                                 handle_of(value.lhs), handle_of(value.rhs)))
+                continue
+            if isinstance(value, Phi):
+                compiled.append((self._OP_PHI,
+                                 tuple(handle_of(incoming)
+                                       for incoming, _block in value.incoming())))
+                continue
+            if isinstance(value, Copy):
+                compiled.append(self._compile_copy(value, handle_of))
+                continue
+            # Arguments, loads, geps, unknown binary ops: the evaluation does
+            # not depend on the table state, so bake the interval in.
+            fixed = self._evaluate_fixed(value)
+            compiled.append((self._OP_CONST, fixed.lower, fixed.upper))
+        return compiled
+
+    def _compile_copy(self, copy: Copy, handle_of) -> tuple:
+        """A σ-copy compiles to its refinement kernel, a plain copy to a move."""
+        condition = getattr(copy, "sigma_condition", None)
+        side = getattr(copy, "sigma_operand_side", None)
+        if not isinstance(condition, ICmp) or side not in ("lhs", "rhs"):
+            return (self._OP_COPY, handle_of(copy.source))
+        predicate = condition.predicate
+        if not getattr(copy, "sigma_on_true_branch", True):
+            predicate = ICmp.NEGATED[predicate]
+        if side == "rhs":
+            predicate = ICmp.SWAPPED[predicate]
+        other = condition.rhs if side == "lhs" else condition.lhs
+        kernel = self._REFINE_KERNELS.get(predicate)
+        if kernel is None:
+            # _refine_sigma returns the source range untouched for predicates
+            # it cannot exploit (e.g. "ne").
+            return (self._OP_COPY, handle_of(copy.source))
+        return (self._OP_SIGMA, handle_of(copy.source), handle_of(other), kernel)
+
+    def _evaluate_fixed(self, value: Value) -> Interval:
+        """The (state-independent) interval of a non-arithmetic member."""
+        if isinstance(value, Argument):
+            return self.argument_ranges.get(value, Interval.top())
+        if isinstance(value, ConstantInt):
+            return Interval.constant(value.value)
+        return Interval.top()
+
+    def _solve_cyclic_table(self, component: SCCComponent,
+                            depth_of: Optional[Callable[[Value], int]]) -> None:
+        """The sparse solver on unboxed bounds, under a ranked policy.
+
+        Same three phases and sweep limits as :meth:`_solve_cyclic_sparse`,
+        but the inner loop reads and writes an :class:`IntervalTable` through
+        precompiled opcodes — no isinstance dispatch, no ``ranges`` dict
+        probes, no Interval allocation or interning until the component is
+        done and the final bounds are boxed back into ``self.ranges``.
+        """
+        members = component.members
+        count = len(members)
+        users = component.users
+        index_of = {value: index for index, value in enumerate(members)}
+        table = IntervalTable(count)
+        compiled = self._compile_component(members, index_of, table)
+        ranks = component.ranks(self.order, depth_of)
+        statistics = self.statistics
+        lo = table.lo
+        hi = table.hi
+
+        op_const = self._OP_CONST
+        op_phi = self._OP_PHI
+        op_copy = self._OP_COPY
+        op_sigma = self._OP_SIGMA
+        kernels = {self._OP_ADD: bounds_add, self._OP_SUB: bounds_sub,
+                   self._OP_MUL: bounds_mul, self._OP_DIV: bounds_div,
+                   self._OP_REM: bounds_rem}
+        evaluations = 0
+
+        def evaluate(index: int) -> Tuple:
+            nonlocal evaluations
+            evaluations += 1
+            code = compiled[index]
+            op = code[0]
+            if op == op_phi:
+                rlo, rhi = POS_INF, NEG_INF
+                for operand in code[1]:
+                    rlo, rhi = bounds_join(rlo, rhi, lo[operand], hi[operand])
+                return rlo, rhi
+            if op == op_copy:
+                source = code[1]
+                return lo[source], hi[source]
+            if op == op_sigma:
+                _op, source, other, kernel = code
+                return kernel(lo[source], hi[source], lo[other], hi[other])
+            if op == op_const:
+                return code[1], code[2]
+            lhs = code[1]
+            rhs = code[2]
+            return kernels[op](lo[lhs], hi[lhs], lo[rhs], hi[rhs])
+
+        def finish() -> None:
+            statistics.evaluations += evaluations
+            load = table.load
+            for index, value in enumerate(members):
+                self.ranges[value] = load(index)
+
+        worklist = SweepWorklist(ranks)
+        # Phase 1a: bounded chaotic iteration (see
+        # RANKED_ITERATIONS_BEFORE_WIDENING for why the budget differs from
+        # the replay solver's).
+        while True:
+            sweep = worklist.next_sweep()
+            if sweep is None or sweep >= self.RANKED_ITERATIONS_BEFORE_WIDENING:
+                break
+            sweep, index = worklist.pop()
+            new_lo, new_hi = evaluate(index)
+            if new_lo != lo[index] or new_hi != hi[index]:
+                lo[index] = new_lo
+                hi[index] = new_hi
+                worklist.schedule(sweep, index, users[index])
+        if not worklist:
+            self._harvest(worklist)
+            finish()
+            return
+        # Phase 1b: widening until the change frontier drains.
+        while worklist:
+            sweep, index = worklist.pop()
+            new_lo, new_hi = evaluate(index)
+            wide_lo, wide_hi = bounds_widen(lo[index], hi[index], new_lo, new_hi)
+            if wide_lo != lo[index] or wide_hi != hi[index]:
+                lo[index] = wide_lo
+                hi[index] = wide_hi
+                self.widening_points.add(members[index])
+                statistics.widenings += 1
+                worklist.schedule(sweep, index, users[index])
+        self._harvest(worklist)
+        # Phase 2: narrowing (every member re-enters once, as in the boxed
+        # sparse solver).
+        worklist = SweepWorklist(ranks)
+        while True:
+            sweep = worklist.next_sweep()
+            if sweep is None or sweep >= self.MAX_NARROWING_ITERATIONS:
+                break
+            sweep, index = worklist.pop()
+            new_lo, new_hi = evaluate(index)
+            narrow_lo, narrow_hi = bounds_narrow(lo[index], hi[index],
+                                                 new_lo, new_hi)
+            if narrow_lo != lo[index] or narrow_hi != hi[index]:
+                lo[index] = narrow_lo
+                hi[index] = narrow_hi
+                statistics.narrowings += 1
+                worklist.schedule(sweep, index, users[index])
+        self._harvest(worklist)
+        finish()
 
     # -- transfer functions -----------------------------------------------------------
     def _operand_range(self, value: Value) -> Interval:

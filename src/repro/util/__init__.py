@@ -6,7 +6,13 @@ that every other subsystem may rely on it freely.
 
 from repro.util.ordered_set import OrderedSet
 from repro.util.unionfind import UnionFind
-from repro.util.worklist import Worklist
+from repro.util.worklist import (
+    WORKLIST_ORDERS,
+    PriorityWorklist,
+    SolverInfo,
+    SweepWorklist,
+    Worklist,
+)
 from repro.util.stats import (
     coefficient_of_determination,
     linear_regression,
@@ -17,7 +23,11 @@ from repro.util.stats import (
 
 __all__ = [
     "OrderedSet",
+    "PriorityWorklist",
+    "SolverInfo",
+    "SweepWorklist",
     "UnionFind",
+    "WORKLIST_ORDERS",
     "Worklist",
     "coefficient_of_determination",
     "linear_regression",

@@ -27,12 +27,14 @@ from repro.api.config import (
     resolved_store_path,
     resolved_synth_seed,
     resolved_workers,
+    resolved_worklist_order,
 )
 
 ALL_VARS = (
     "REPRO_WORKERS", "REPRO_STORE", "REPRO_STORE_BACKEND",
     "REPRO_STORE_MAX_MB", "REPRO_RANGE_SOLVER", "REPRO_LT_SOLVER",
-    "REPRO_CLASS_LIMIT", "REPRO_SYNTH_SEED", "REPRO_FULL",
+    "REPRO_WORKLIST_ORDER", "REPRO_CLASS_LIMIT", "REPRO_SYNTH_SEED",
+    "REPRO_FULL",
 )
 
 
@@ -51,6 +53,7 @@ def test_defaults_without_environment():
     assert config.store_max_bytes is None
     assert config.range_solver == "sparse"
     assert config.lt_solver == "sparse"
+    assert config.worklist_order == "fifo"
     assert config.class_limit == 64
     assert config.synth_seed == 7
     assert config.full_scale is False
@@ -63,6 +66,7 @@ def test_environment_resolution(monkeypatch):
     monkeypatch.setenv("REPRO_STORE_MAX_MB", "1.5")
     monkeypatch.setenv("REPRO_RANGE_SOLVER", "dense")
     monkeypatch.setenv("REPRO_LT_SOLVER", "constraint")
+    monkeypatch.setenv("REPRO_WORKLIST_ORDER", "scc")
     monkeypatch.setenv("REPRO_CLASS_LIMIT", "8")
     monkeypatch.setenv("REPRO_SYNTH_SEED", "11")
     monkeypatch.setenv("REPRO_FULL", "1")
@@ -74,6 +78,7 @@ def test_environment_resolution(monkeypatch):
     assert config.store_max_bytes == int(1.5 * 1024 * 1024)
     assert config.range_solver == "dense"
     assert config.lt_solver == "constraint"
+    assert config.worklist_order == "scc"
     assert config.class_limit == 8
     assert config.synth_seed == 11
     assert config.full_scale is True
@@ -102,6 +107,7 @@ def test_zero_budget_means_unbounded():
     ("REPRO_STORE_BACKEND", "mysql"),
     ("REPRO_RANGE_SOLVER", "nonsense"),
     ("REPRO_LT_SOLVER", "bogus"),
+    ("REPRO_WORKLIST_ORDER", "priority"),
     ("REPRO_CLASS_LIMIT", "-3"),
     ("REPRO_SYNTH_SEED", "x"),
     ("REPRO_FULL", "maybe"),
@@ -119,6 +125,7 @@ def test_invalid_environment_values_raise(monkeypatch, env_var, value):
     ("store_backend", "mysql"),
     ("range_solver", "nonsense"),
     ("lt_solver", "bogus"),
+    ("worklist_order", "priority"),
     ("class_limit", -3),
 ])
 def test_invalid_explicit_values_name_the_field(field, value):
@@ -164,6 +171,16 @@ def test_active_config_wins_over_environment(monkeypatch):
 
 def test_resolved_class_limit_default():
     assert resolved_class_limit() == 64
+
+
+def test_worklist_order_precedence(monkeypatch):
+    assert resolved_worklist_order() == "fifo"
+    monkeypatch.setenv("REPRO_WORKLIST_ORDER", "loopdepth")
+    assert resolved_worklist_order() == "loopdepth"
+    # An active config's field wins over the environment.
+    with ReproConfig(worklist_order="scc").activate():
+        assert resolved_worklist_order() == "scc"
+    assert resolved_worklist_order() == "loopdepth"
 
 
 def test_install_config_is_idempotent():

@@ -2,14 +2,17 @@
 
 from repro.alias import AliasEvaluation, AliasResult
 from repro.core.disambiguation import DisambiguationStatistics
+from repro.util.worklist import SolverInfo
 
 
-def _statistics(queries, truncated, largest, memoized):
+def _statistics(queries, truncated, largest, memoized, solver=None):
     statistics = DisambiguationStatistics()
     statistics.queries = queries
     statistics.truncated_classes = truncated
     statistics.largest_class = largest
     statistics.memoized_values = memoized
+    if solver is not None:
+        statistics.solver = solver
     return statistics
 
 
@@ -33,6 +36,34 @@ def test_disambiguation_statistics_dict_round_trip():
     assert rebuilt.as_dict() == original.as_dict()
     assert DisambiguationStatistics.from_dict({}).as_dict() == \
         DisambiguationStatistics().as_dict()
+
+
+def test_disambiguation_statistics_merge_sums_solver_counters():
+    a = _statistics(1, 0, 1, 0,
+                    solver=SolverInfo(evaluations=40, widenings=3, sccs=9,
+                                      cyclic_sccs=2, pops={"fifo": 30}))
+    b = _statistics(2, 0, 1, 0,
+                    solver=SolverInfo(evaluations=15, narrowings=4, sccs=5,
+                                      pops={"fifo": 10, "scc": 6}))
+    merged = a.merge(b)
+    assert merged.solver.evaluations == 55
+    assert merged.solver.widenings == 3
+    assert merged.solver.narrowings == 4
+    assert merged.solver.sccs == 14
+    assert merged.solver.cyclic_sccs == 2
+    assert merged.solver.pops == {"fifo": 40, "scc": 6}
+    # The originals are untouched (merge returns a fresh struct).
+    assert a.solver.evaluations == 40
+    assert b.solver.evaluations == 15
+
+
+def test_disambiguation_statistics_solver_survives_dict_round_trip():
+    original = _statistics(3, 1, 2, 0,
+                           solver=SolverInfo(evaluations=7, pops={"scc": 7}))
+    rebuilt = DisambiguationStatistics.from_dict(original.as_dict())
+    assert rebuilt.solver == original.solver
+    # Legacy payloads without the key deserialize to empty counters.
+    assert DisambiguationStatistics.from_dict({}).solver == SolverInfo()
 
 
 def test_alias_evaluation_dict_round_trip():

@@ -30,10 +30,13 @@ def _verdict_streams(results):
             for result in results]
 
 
-def _run_with_solvers(monkeypatch, range_solver, lt_solver):
+def _run_with_solvers(monkeypatch, range_solver, lt_solver, order="fifo",
+                      workers=0):
     monkeypatch.setenv("REPRO_RANGE_SOLVER", range_solver)
     monkeypatch.setenv("REPRO_LT_SOLVER", lt_solver)
-    return run_workload(_kernel_units(), specs=SPECS, workers=0, store=False)
+    monkeypatch.setenv("REPRO_WORKLIST_ORDER", order)
+    return run_workload(_kernel_units(), specs=SPECS, workers=workers,
+                        store=False)
 
 
 def test_verdicts_bit_identical_across_solver_modes(monkeypatch):
@@ -51,6 +54,42 @@ def test_verdicts_bit_identical_with_mixed_modes(monkeypatch):
     mixed_a = _run_with_solvers(monkeypatch, "sparse", "constraint")
     mixed_b = _run_with_solvers(monkeypatch, "dense", "sparse")
     assert _verdict_streams(mixed_a) == _verdict_streams(mixed_b)
+
+
+def test_verdicts_bit_identical_across_worklist_orders(monkeypatch):
+    """The policy matrix: every ``REPRO_WORKLIST_ORDER`` × solver-mode
+    combination reaches the same fixed points, so the whole pipeline's
+    verdict streams and evaluation counts are bit-identical."""
+    baseline = _run_with_solvers(monkeypatch, "sparse", "sparse")
+    reference_stream = _verdict_streams(baseline)
+    reference_counts = [
+        {label: result.evaluation(label).as_dict() for label in result.labels}
+        for result in baseline]
+    for order in ("scc", "loopdepth"):
+        for range_solver in ("dense", "sparse"):
+            for lt_solver in ("constraint", "sparse"):
+                results = _run_with_solvers(monkeypatch, range_solver,
+                                            lt_solver, order)
+                label = (order, range_solver, lt_solver)
+                assert _verdict_streams(results) == reference_stream, label
+                assert [{name: result.evaluation(name).as_dict()
+                         for name in result.labels}
+                        for result in results] == reference_counts, label
+
+
+def test_worklist_order_equivalence_survives_sharding(monkeypatch):
+    """Serial vs ``workers=2``, under the scc policy: identical verdicts
+    and identical merged solver totals (the per-shard ``SolverInfo``
+    counters must survive the coordinator merge losslessly)."""
+    serial = _run_with_solvers(monkeypatch, "sparse", "sparse", "scc")
+    sharded = _run_with_solvers(monkeypatch, "sparse", "sparse", "scc",
+                                workers=2)
+    assert _verdict_streams(serial) == _verdict_streams(sharded)
+    for serial_result, sharded_result in zip(serial, sharded):
+        serial_solver = serial_result.statistics.solver
+        assert serial_solver == sharded_result.statistics.solver
+        assert serial_solver.evaluations > 0
+        assert serial_solver.pops.get("scc", 0) > 0
 
 
 def test_lt_sets_identical_across_strategies():

@@ -66,10 +66,17 @@ def test_sparse_matches_dense_on_every_kernel():
 
 
 def test_sparse_never_evaluates_more_than_dense():
+    # A *fifo*-ordered property: the replay policy only ever skips dense
+    # evaluations that are provably no-ops.  Ranked policies trade the
+    # guarantee per tiny component for fewer evaluations in aggregate
+    # (gated in benchmarks/bench_solver_hotpath.py), so the order is
+    # pinned rather than inherited from REPRO_WORKLIST_ORDER.
     for name in kernel_names():
         module = kernel_module(name)
         for function in module.defined_functions():
-            dense, sparse = _assert_identical(function)
+            dense = RangeAnalysis(function, solver="dense")
+            sparse = RangeAnalysis(function, solver="sparse", order="fifo")
+            assert dense.ranges == sparse.ranges
             assert sparse.statistics.evaluations <= dense.statistics.evaluations
 
 

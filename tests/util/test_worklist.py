@@ -1,6 +1,21 @@
-"""Unit tests for :class:`repro.util.Worklist`."""
+"""Unit tests for the shared worklist machinery.
+
+The plain FIFO :class:`Worklist`, the policy-ranked
+:class:`PriorityWorklist`, the range solver's ``(sweep, rank)``
+:class:`SweepWorklist`, the :class:`SolverInfo` counter struct and the
+policy-name validation the config layer leans on.
+"""
+
+import pytest
 
 from repro.util import Worklist
+from repro.util.worklist import (
+    WORKLIST_ORDERS,
+    PriorityWorklist,
+    SolverInfo,
+    SweepWorklist,
+    validate_order,
+)
 
 
 def test_fifo_order():
@@ -44,3 +59,125 @@ def test_pop_and_push_counters():
     wl.push(1)
     assert wl.pushes == 3
     assert wl.pops == 2
+
+
+# -- policy registry ----------------------------------------------------------------
+
+def test_validate_order_accepts_every_registered_policy():
+    for order in WORKLIST_ORDERS:
+        assert validate_order(order) == order
+
+
+def test_validate_order_rejects_unknown_policies():
+    with pytest.raises(ValueError, match="priority"):
+        validate_order("priority")
+
+
+# -- PriorityWorklist ---------------------------------------------------------------
+
+def test_priority_worklist_without_ranks_is_fifo():
+    wl = PriorityWorklist(items=["c", "a", "b"])
+    assert [wl.pop(), wl.pop(), wl.pop()] == ["c", "a", "b"]
+    assert not wl
+
+
+def test_priority_worklist_pops_in_rank_order():
+    wl = PriorityWorklist(ranks={"a": 2, "b": 0, "c": 1},
+                          items=["a", "b", "c"])
+    assert [wl.pop(), wl.pop(), wl.pop()] == ["b", "c", "a"]
+
+
+def test_priority_worklist_breaks_ties_by_insertion_order():
+    wl = PriorityWorklist(ranks={"x": 1, "y": 1, "z": 0})
+    for item in ("y", "x", "z"):
+        wl.push(item)
+    assert [wl.pop(), wl.pop(), wl.pop()] == ["z", "y", "x"]
+
+
+def test_priority_worklist_coalesces_duplicate_pushes():
+    wl = PriorityWorklist(ranks={"a": 0})
+    assert wl.push("a") is True
+    assert wl.push("a") is False
+    assert wl.coalesced == 1
+    assert len(wl) == 1
+    assert "a" in wl
+    wl.pop()
+    assert "a" not in wl
+    # After a pop the same item may be scheduled again.
+    assert wl.push("a") is True
+    assert wl.pushes == 2
+
+
+# -- SweepWorklist ------------------------------------------------------------------
+
+def test_sweep_worklist_seeds_and_pops_in_rank_order():
+    wl = SweepWorklist([2, 0, 1])
+    assert len(wl) == 3
+    assert wl.next_sweep() == 0
+    assert [wl.pop()[1] for _ in range(3)] == [1, 2, 0]
+    assert wl.next_sweep() is None
+    assert not wl
+
+
+def test_sweep_rule_same_sweep_forward_next_sweep_backward():
+    # A dependent ranked after the changed member is revisited in the same
+    # sweep (a dense pass would have seen the update too); one ranked before
+    # it waits for the next sweep.
+    wl = SweepWorklist([0, 1, 2], seed_sweep=None)
+    wl.schedule(0, 1, [2, 0])
+    assert wl.pop() == (0, 2)   # rank 2 > rank 1: same sweep
+    assert wl.pop() == (1, 0)   # rank 0 < rank 1: next sweep
+    assert not wl
+
+
+def test_sweep_worklist_dedups_per_sweep():
+    wl = SweepWorklist([0, 1], seed_sweep=None)
+    assert wl.push(0, 1) is True
+    assert wl.push(0, 1) is False
+    assert wl.coalesced == 1
+    # The same index in a different sweep is a distinct entry.
+    assert wl.push(1, 1) is True
+    assert wl.pop() == (0, 1)
+    assert wl.pop() == (1, 1)
+
+
+# -- SolverInfo ---------------------------------------------------------------------
+
+def _info():
+    info = SolverInfo(evaluations=10, widenings=2, narrowings=3,
+                      sccs=4, cyclic_sccs=1)
+    info.record_pops("fifo", 7)
+    info.record_pops("scc", 5)
+    return info
+
+
+def test_solver_info_merge_sums_everything():
+    other = SolverInfo(evaluations=1, widenings=1, narrowings=1,
+                       sccs=1, cyclic_sccs=1, pops={"scc": 2, "loopdepth": 4})
+    merged = _info().merge(other)
+    assert merged.evaluations == 11
+    assert merged.widenings == 3
+    assert merged.narrowings == 4
+    assert merged.sccs == 5
+    assert merged.cyclic_sccs == 2
+    assert merged.pops == {"fifo": 7, "scc": 7, "loopdepth": 4}
+
+
+def test_solver_info_merge_is_commutative_and_lossless():
+    a, b = _info(), SolverInfo(evaluations=3, pops={"fifo": 1})
+    assert a.merge(b) == b.merge(a)
+    assert a.merge(SolverInfo()) == a
+
+
+def test_solver_info_record_pops_ignores_zero():
+    info = SolverInfo()
+    info.record_pops("fifo", 0)
+    assert info.pops == {}
+
+
+def test_solver_info_dict_round_trip():
+    original = _info()
+    rebuilt = SolverInfo.from_dict(original.as_dict())
+    assert rebuilt == original
+    assert rebuilt.as_dict() == original.as_dict()
+    assert SolverInfo.from_dict({}) == SolverInfo()
