@@ -39,6 +39,7 @@ from repro.core.lessthan.generation import ConstraintGenerator
 from repro.core.lessthan.solver import ConstraintSolver
 from repro.essa.transform import convert_to_essa
 from repro.frontend import compile_source
+from repro.obs import TRACER
 from repro.rangeanalysis import RangeAnalysis
 from repro.synth.kernels import KERNEL_SOURCES
 
@@ -52,6 +53,11 @@ MAX_SPARSE_RATIO = env_float("REPRO_MAX_SPARSE_RATIO", 1.0)
 #: wall-clock gate of the scc policy over the fifo replay on the chain-loop
 #: programs; relaxable on noisy shared CI runners via the environment.
 MIN_SCC_SPEEDUP = env_float("REPRO_MIN_SCC_SPEEDUP", 1.3)
+#: disabled-tracer overhead budget as a fraction of the sparse solve wall
+#: time (the obs contract: tracing off must stay within 2% of baseline).
+MAX_TRACE_OVERHEAD = env_float("REPRO_MAX_TRACE_OVERHEAD", 0.02)
+#: disabled span/timer calls per microbenchmark batch.
+TRACE_OVERHEAD_CALLS = 100_000
 
 #: nested-loop kernels of the paper, for realism next to the synthetic chains.
 KERNEL_NAMES = ("ins_sort", "partition", "two_pointer_sum")
@@ -212,3 +218,60 @@ def test_sparse_solver_hotpath(benchmark):
     # legacy constraint-keyed scheme.
     for row in rows[:-1]:
         assert row["lt_evals_sparse"] <= row["lt_evals_legacy"], row["benchmark"]
+
+
+def test_tracer_disabled_overhead():
+    """Gate the obs layer's disabled-path cost on the solver hot path.
+
+    The instrumentation contract is that a disabled ``TRACER.span()`` is one
+    attribute check (and a disabled timer two clock reads), so the spans a
+    traced solve *would* emit must cost a negligible slice of the untraced
+    solve.  Measured as: (spans one enabled sparse pass records) x (the
+    per-call cost of the heavier disabled construct, the always-on timer),
+    gated at ``MAX_TRACE_OVERHEAD`` (2%) of the sparse pass's wall time.
+    """
+    assert not TRACER.enabled
+    name, source = _workload()[len(CHAIN_LINKS) - 1]
+    _module, functions = _prepared_functions(name, source)
+
+    sparse_seconds, _ = _time_repeats(
+        lambda: _range_pass(functions, "sparse"), REPEATS)
+    per_pass = sparse_seconds / REPEATS
+
+    # How many spans does one traced pass emit?
+    TRACER.enable()
+    try:
+        _range_pass(functions, "sparse")
+        spans_per_pass = len(TRACER.spans())
+    finally:
+        TRACER.disable()
+        TRACER.reset()
+
+    # Per-call cost of the disabled constructs; the timer is the heavier one
+    # (it keeps measuring so solver statistics survive untraced runs).
+    start = time.perf_counter()
+    for _ in range(TRACE_OVERHEAD_CALLS):
+        with TRACER.span("bench.noop"):
+            pass
+    span_cost = (time.perf_counter() - start) / TRACE_OVERHEAD_CALLS
+    start = time.perf_counter()
+    for _ in range(TRACE_OVERHEAD_CALLS):
+        with TRACER.timer("bench.noop"):
+            pass
+    timer_cost = (time.perf_counter() - start) / TRACE_OVERHEAD_CALLS
+
+    overhead = spans_per_pass * max(span_cost, timer_cost)
+    ratio = overhead / per_pass if per_pass else 0.0
+    rows = [{
+        "spans_per_pass": spans_per_pass,
+        "span_ns": round(span_cost * 1e9, 1),
+        "timer_ns": round(timer_cost * 1e9, 1),
+        "pass_ms": round(per_pass * 1e3, 3),
+        "overhead_ratio": round(ratio, 5),
+        "budget": MAX_TRACE_OVERHEAD,
+    }]
+    print_table("Disabled-tracer overhead on the sparse solve", rows)
+    write_results("tracer_overhead", rows)
+    assert ratio <= MAX_TRACE_OVERHEAD, \
+        "disabled tracing costs {:.2%} of the sparse solve (budget {:.0%})".format(
+            ratio, MAX_TRACE_OVERHEAD)

@@ -31,6 +31,7 @@ import sys
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api.config import ConfigError, ReproConfig
+from repro.obs import TRACER
 
 #: analysis members accepted inside an ``--specs`` item.
 KNOWN_MEMBERS = ("basicaa", "lt", "andersen", "steensgaard", "tbaa")
@@ -62,6 +63,9 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                        help="equivalence-class truncation limit (0 = unlimited)")
     group.add_argument("--seed", type=int, default=None, metavar="N",
                        help="synthetic-workload base seed")
+    group.add_argument("--trace", default=None, metavar="FILE",
+                       help="write a Chrome trace-event JSON timeline "
+                            "(open in about:tracing or Perfetto)")
 
 
 def _config_from_arguments(args: argparse.Namespace) -> ReproConfig:
@@ -76,7 +80,8 @@ def _config_from_arguments(args: argparse.Namespace) -> ReproConfig:
             ("lt_solver", "lt_solver"),
             ("worklist_order", "worklist_order"),
             ("class_limit", "class_limit"),
-            ("synth_seed", "seed")):
+            ("synth_seed", "seed"),
+            ("trace", "trace")):
         value = getattr(args, attribute, None)
         if value is not None:
             overrides[field] = value
@@ -167,6 +172,11 @@ def _cmd_eval(args: argparse.Namespace) -> int:
     with Session(config) as session:
         results = session.run_workload(
             units, specs=specs, interprocedural=not args.intraprocedural)
+    if config.trace:
+        # Session.close() wrote the timeline; note it on stderr so --json
+        # stdout stays byte-identical to an untraced run.
+        print("wrote trace {} ({} spans)".format(
+            config.trace, len(TRACER.timeline())), file=sys.stderr)
 
     if args.json:
         payload = {
@@ -231,13 +241,54 @@ def _cmd_print_ir(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return "{:.3f}s".format(seconds)
+    return "{:.3f}ms".format(seconds * 1e3)
+
+
+def _print_timings() -> None:
+    """The ``stats --timings`` tables, read off the tracer's timeline."""
+    timeline = TRACER.timeline()
+    print("[timings]")
+    if not len(timeline):
+        print("  (no spans recorded)")
+        return
+    rows = [{
+        "phase": row["phase"],
+        "calls": row["count"],
+        "total": _format_seconds(row["total"]),
+        "self": _format_seconds(row["self"]),
+        "p50": _format_seconds(row["p50"]),
+        "p99": _format_seconds(row["p99"]),
+    } for row in timeline.timing_rows()]
+    _print_table(rows)
+    lanes = timeline.lane_summary()
+    if len(lanes) > 1:
+        print("[lanes]")
+        _print_table([{
+            "lane": lane,
+            "spans": stats["spans"],
+            "busy": _format_seconds(stats["busy"]),
+            "min": _format_seconds(stats["min"]),
+            "max": _format_seconds(stats["max"]),
+            "skew": "{:.2f}".format(stats["skew"]),
+        } for lane, stats in lanes.items()])
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.api.session import Session
 
     source = _read_source(args.source)
     name = _unit_name(args.source)
     interprocedural = not args.intraprocedural
-    with Session(_config_from_arguments(args)) as session:
+    config = _config_from_arguments(args)
+    # --timings needs spans even without a --trace file: start a capture
+    # for the duration of the command.
+    capture_here = args.timings and not config.trace
+    if capture_here:
+        TRACER.enable()
+    with Session(config) as session:
         unit = session.compile(source, name=name)
         report = unit.analyze(interprocedural).disambiguate(interprocedural)
         lt_statistics = unit.lessthan(interprocedural).statistics
@@ -274,9 +325,31 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         for key, value in report.statistics.as_dict().items():
             if key not in ("queries", "solver"):
                 print("  {:24s} {}".format(key, value))
+        statistics = session.statistics()
         print("[cache]")
-        for key, value in session.statistics()["cache"].items():
-            print("  {:24s} {}".format(key, value))
+        cache_stats = session.cache.statistics
+        for key, value in statistics["cache"].items():
+            if key == "hit_ratio":
+                print("  {:24s} {:.2%}".format("hit_rate", value))
+            else:
+                print("  {:24s} {}".format(key, value))
+        for kind in sorted(cache_stats.by_kind):
+            counters = cache_stats.by_kind[kind]
+            lookups = counters["hits"] + counters["misses"]
+            rate = counters["hits"] / lookups if lookups else 0.0
+            print("  {:24s} {}/{} ({:.2%})".format(
+                kind, counters["hits"], lookups, rate))
+        if "store" in statistics:
+            print("[store]")
+            for key, value in statistics["store"].items():
+                if key == "hit_rate":
+                    print("  {:24s} {:.2%}".format(key, value))
+                else:
+                    print("  {:24s} {}".format(key, value))
+        if args.timings:
+            _print_timings()
+    if capture_here:
+        TRACER.disable()
     return 0
 
 
@@ -361,6 +434,9 @@ def build_parser() -> argparse.ArgumentParser:
     stats_parser.add_argument("source", help="mini-C source file ('-' = stdin)")
     stats_parser.add_argument("--intraprocedural", action="store_true",
                               help="disable interprocedural pseudo-phi constraints")
+    stats_parser.add_argument("--timings", action="store_true",
+                              help="per-phase timing table (total/self time, "
+                                   "call counts, p50/p99, per-lane skew)")
     _add_config_arguments(stats_parser)
     stats_parser.set_defaults(handler=_cmd_stats)
 

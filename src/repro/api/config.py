@@ -45,6 +45,7 @@ field                environment variable     default
 ``class_limit``      ``REPRO_CLASS_LIMIT``    ``64`` (``0`` = unlimited)
 ``synth_seed``       ``REPRO_SYNTH_SEED``     ``7``
 ``full_scale``       ``REPRO_FULL``           ``False``
+``trace``            ``REPRO_TRACE``          ``None`` (tracing disabled)
 ===================  =======================  ==========================
 """
 
@@ -263,6 +264,16 @@ def _resolve_synth_seed(value: object) -> int:
     return _parse_int("synth_seed", "REPRO_SYNTH_SEED", value, False)
 
 
+def _resolve_trace(value: object) -> Optional[str]:
+    """A Chrome trace-event output path; ``None`` disables tracing."""
+    if isinstance(value, _Unset):
+        return _env("REPRO_TRACE")
+    if value is None:
+        return None
+    path = str(value).strip()
+    return path or None
+
+
 def _resolve_full_scale(value: object) -> bool:
     if isinstance(value, _Unset):
         raw = os.environ.get("REPRO_FULL")
@@ -294,6 +305,7 @@ class ReproConfig:
     class_limit: int = UNSET                 # type: ignore[assignment]
     synth_seed: int = UNSET                  # type: ignore[assignment]
     full_scale: bool = UNSET                 # type: ignore[assignment]
+    trace: Optional[str] = UNSET             # type: ignore[assignment]
 
     def __post_init__(self) -> None:
         resolve = object.__setattr__
@@ -308,6 +320,7 @@ class ReproConfig:
         resolve(self, "class_limit", _resolve_class_limit(self.class_limit))
         resolve(self, "synth_seed", _resolve_synth_seed(self.synth_seed))
         resolve(self, "full_scale", _resolve_full_scale(self.full_scale))
+        resolve(self, "trace", _resolve_trace(self.trace))
 
     # -- derived views -----------------------------------------------------------
     @property
@@ -442,6 +455,12 @@ def resolved_full_scale() -> bool:
     config = active_config()
     return (config.full_scale if config is not None
             else _resolve_full_scale(UNSET))
+
+
+def resolved_trace() -> Optional[str]:
+    """The trace output path, or ``None`` when tracing is off."""
+    config = active_config()
+    return config.trace if config is not None else _resolve_trace(UNSET)
 
 
 # ---------------------------------------------------------------------------

@@ -53,6 +53,7 @@ from repro.engine.workunit import DEFAULT_SPECS, Scheduler, WorkUnit
 from repro.frontend import compile_source
 from repro.ir.module import Module
 from repro.ir.printer import print_module
+from repro.obs import TRACER, write_chrome_trace
 from repro.passes.analysis_cache import FunctionAnalysisCache
 
 
@@ -205,6 +206,12 @@ class Session:
         self.config = config
         self.cache = FunctionAnalysisCache()
         self._store: Union[_Unopened, Optional[AnalysisStore]] = _UNOPENED
+        # A configured trace path makes this session the tracer's owner: it
+        # starts the capture here and writes the Chrome trace on close().
+        self._trace_started = False
+        if config.trace:
+            TRACER.enable()
+            self._trace_started = True
 
     # -- the store handle --------------------------------------------------------
     @property
@@ -241,10 +248,17 @@ class Session:
 
     # -- lifecycle ----------------------------------------------------------------
     def close(self) -> None:
-        """Close the session's store handle (idempotent)."""
+        """Close the session's store handle and flush any owned trace
+        (idempotent)."""
         if isinstance(self._store, AnalysisStore):
             self._store.close()
         self._store = _UNOPENED
+        if self._trace_started:
+            self._trace_started = False
+            write_chrome_trace(self.config.trace, TRACER.timeline())
+            # Stop recording but keep the buffer: metrics() stays readable
+            # after close, and tests inspect the captured timeline.
+            TRACER.disable()
 
     def __enter__(self) -> "Session":
         return self
@@ -372,11 +386,32 @@ class Session:
             stats["store"] = {
                 "hits": store.hits,
                 "misses": store.misses,
+                "hit_rate": store.hit_rate,
                 "evictions": store.evictions,
                 "entries": len(store),
                 "size_bytes": store.size_bytes(),
             }
         return stats
+
+    def metrics(self) -> Dict[str, object]:
+        """Programmatic observability: per-phase latencies plus counters.
+
+        ``phases`` maps span names to ``count``/``total``/``self``/``min``/
+        ``max``/``p50``/``p99`` (seconds); ``lanes`` carries per-worker busy
+        time and skew when shards ran in a pool.  Empty when the session is
+        not tracing (construct it with ``ReproConfig(trace=...)`` or set
+        ``REPRO_TRACE``).  ``cache``/``store`` counters are always present —
+        the shape benchmarks and the future ``serve`` daemon read p50/p99
+        from.
+        """
+        timeline = TRACER.timeline()
+        metrics: Dict[str, object] = {
+            "phases": timeline.phase_summary(),
+            "lanes": timeline.lane_summary(),
+            "counters": TRACER.metrics.snapshot(),
+        }
+        metrics.update(self.statistics())
+        return metrics
 
     def __repr__(self) -> str:
         return "<Session workers={} store={}>".format(

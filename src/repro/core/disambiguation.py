@@ -44,6 +44,7 @@ from repro.api.config import resolved_class_limit
 from repro.core.lessthan.analysis import LessThanAnalysis
 from repro.ir.instructions import Copy, GetElementPtr, Instruction
 from repro.ir.values import Argument, ConstantInt, Value
+from repro.obs import TRACER
 from repro.util.worklist import SolverInfo
 
 
@@ -348,6 +349,19 @@ class PointerDisambiguator:
         they involve — the mask-passing entry point of the chain combinator,
         which skips pairs an earlier analysis already resolved.
         """
+        if not TRACER.enabled:
+            return self._disambiguate_pairs(pointers, pairs)
+        # The result is a lazily consumed generator, so a plain ``with``
+        # around it would close the span before any pair is evaluated —
+        # materialize inside the span instead (tracing runs only).
+        with TRACER.span("disambiguate.pairs", pointers=len(pointers),
+                         restricted=pairs is not None) as span:
+            results = list(self._disambiguate_pairs(pointers, pairs))
+            span.annotate(pairs=len(results))
+        return iter(results)
+
+    def _disambiguate_pairs(self, pointers: List[Value],
+                            pairs: Optional[List[Tuple[int, int]]] = None):
         if not self.memoize:
             if pairs is not None:
                 for i, j in pairs:

@@ -26,6 +26,7 @@ from repro.essa.transform import convert_to_essa
 from repro.ir.function import Function
 from repro.ir.module import Module
 from repro.ir.values import Value
+from repro.obs import TRACER
 from repro.passes.pass_base import AnalysisPass
 from repro.rangeanalysis.analysis import RangeAnalysis
 
@@ -98,11 +99,14 @@ class LessThanAnalysis:
             else:
                 self.ranges[function] = RangeAnalysis(function)
         generator = ConstraintGenerator(self.ranges)
-        if isinstance(self.subject, Module):
-            self.constraints = generator.generate_for_module(
-                self.subject, interprocedural=interprocedural)
-        else:
-            self.constraints = generator.generate_for_function(self.subject)
+        with TRACER.span("lt.generate",
+                         functions=len(self.functions)) as span:
+            if isinstance(self.subject, Module):
+                self.constraints = generator.generate_for_module(
+                    self.subject, interprocedural=interprocedural)
+            else:
+                self.constraints = generator.generate_for_function(self.subject)
+            span.annotate(constraints=len(self.constraints))
         solver = ConstraintSolver(self.constraints, strategy=self.solver_strategy,
                                   order=self.worklist_order)
         self.lt_sets = solver.solve()

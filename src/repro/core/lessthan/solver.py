@@ -39,12 +39,12 @@ quantify the work the dependents-only scheme avoids.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
 
 from repro.api.config import resolved_lt_solver, resolved_worklist_order
 from repro.core.lessthan.constraints import Constraint, LTState, TOP
 from repro.ir.values import Value
+from repro.obs import TRACER
 from repro.rangeanalysis.graph import strongly_connected_components
 from repro.util.worklist import (
     PriorityWorklist,
@@ -149,17 +149,18 @@ class ConstraintSolver:
 
     def solve(self) -> Dict[Value, FrozenSet[Value]]:
         """Run the fixed-point iteration and return the final LT sets."""
-        start = time.perf_counter()
         state: LTState = {}
-        for constraint in self.constraints:
-            state[constraint.target] = TOP
-        if self.strategy == "sparse":
-            self._solve_sparse(state)
-        else:
-            self._solve_constraint_keyed(state)
+        with TRACER.timer("lt.solve", strategy=self.strategy,
+                          constraints=len(self.constraints)) as timer:
+            for constraint in self.constraints:
+                state[constraint.target] = TOP
+            if self.strategy == "sparse":
+                self._solve_sparse(state)
+            else:
+                self._solve_constraint_keyed(state)
         self.statistics.constraint_count = len(self.constraints)
         self.statistics.variable_count = len(state)
-        self.statistics.solve_time_seconds = time.perf_counter() - start
+        self.statistics.solve_time_seconds = timer.seconds
         # Any variable still at TOP belongs to a degenerate cycle never fed by
         # a concrete definition (only possible in unreachable code); report it
         # as the empty set so that no unsound ordering is ever claimed.

@@ -49,6 +49,7 @@ from repro.engine import worker as worker_module
 from repro.engine.store import AnalysisStore
 from repro.engine.workunit import DEFAULT_SPECS, WorkUnit
 from repro.ir.module import Module
+from repro.obs import TRACER
 from repro.passes.analysis_cache import FunctionAnalysisCache
 
 
@@ -156,6 +157,23 @@ def _normalize_units(units: Sequence[UnitLike], kind: str,
     return normalized
 
 
+def _absorb_telemetry(payload: Dict[str, object]) -> None:
+    """Merge a pool payload's shipped span buffer onto the coordinator tracer.
+
+    Workers attach ``spans`` (their drained buffer) and ``span_epoch``
+    (their wall-clock anchor) to every payload when tracing is on; the
+    coordinator rebases the timestamps and files the spans under a
+    ``worker-<pid>`` lane — the per-shard merge mirroring
+    ``DisambiguationStatistics.merge``.  The fields are popped
+    unconditionally so verdict output never carries timing data.
+    """
+    spans = payload.pop("spans", None)
+    epoch = payload.pop("span_epoch", None)
+    if spans:
+        lane = "worker-{}".format(payload.get("pid", "?"))
+        TRACER.absorb_shard(spans, lane, epoch)
+
+
 def _write_back(store: Optional[AnalysisStore],
                 payload: Dict[str, object]) -> None:
     """Persist one payload's freshly computed entries (coordinator-side).
@@ -213,6 +231,7 @@ def _run_units(units: List[WorkUnit], workers: int,
                  for index, unit in enumerate(units)]
         for index, payload in pool.imap_unordered(
                 worker_module.execute_indexed, tasks, chunksize=1):
+            _absorb_telemetry(payload)
             _write_back(store, payload)
             arrived.append((index, payload))
             if on_payload is not None:

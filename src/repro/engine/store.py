@@ -393,6 +393,15 @@ class AnalysisStore:
     def backend_name(self) -> str:
         return self._backend.name
 
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the store (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
     def get(self, key: str) -> Optional[object]:
         """The payload stored under ``key``, or ``None`` on a miss.
 

@@ -47,6 +47,7 @@ from repro.engine.workunit import WorkUnit, spec_label
 from repro.frontend import compile_source
 from repro.ir.module import Module
 from repro.ir.printer import print_function, print_module
+from repro.obs import TRACER
 from repro.passes.analysis_cache import FunctionAnalysisCache
 
 
@@ -62,12 +63,16 @@ def initialize_worker(src_path: Optional[str],
     as this process's base config so that solver selection and
     equivalence-class truncation resolve identically in every worker —
     under ``spawn`` as well as ``fork`` (environment variables alone would
-    miss a session whose config differs from the environment).
+    miss a session whose config differs from the environment).  When that
+    config carries a trace path, this worker's tracer starts recording too;
+    the span buffer ships back with each payload (see :func:`execute`).
     """
     if src_path and src_path not in sys.path:
         sys.path.insert(0, src_path)
     if config is not None:
         install_config(config)
+        if config.trace:
+            TRACER.enable()
 
 
 def _member_analysis(member: str, module: Module, cache: FunctionAnalysisCache,
@@ -320,6 +325,12 @@ def run_work_unit(unit: WorkUnit,
     function-level entries that do exist — and the merged payload is handed
     back for the coordinator to persist at both granularities.
     """
+    with TRACER.span("engine.unit", unit=unit.name, kind=unit.kind):
+        return _run_work_unit(unit, store)
+
+
+def _run_work_unit(unit: WorkUnit,
+                   store: Optional[AnalysisStore]) -> Dict[str, object]:
     if unit.kind not in JOBS:
         raise KeyError("unknown work-unit kind {!r}".format(unit.kind))
     memo_key = None
@@ -375,15 +386,30 @@ def execute(task: Tuple[WorkUnit, Optional[Tuple[str, str, str]]]) -> Dict[str, 
     read-only inside the worker (the coordinator is the only writer)."""
     unit, store_spec = task
     if store_spec is None:
-        return run_work_unit(unit, store=None)
+        return _ship_telemetry(run_work_unit(unit, store=None))
     store = _readonly_store(store_spec)
     try:
-        return run_work_unit(unit, store=store)
+        return _ship_telemetry(run_work_unit(unit, store=store))
     finally:
         # Each unit's payload carries its own touched-key delta; dropping
         # the consumed log keeps long-lived pool workers from accumulating
         # one entry per store hit forever.
         store.touched_keys.clear()
+
+
+def _ship_telemetry(payload: Dict[str, object]) -> Dict[str, object]:
+    """Attach this worker's drained span buffer to a pool payload.
+
+    The coordinator pops these fields, rebases the timestamps with the
+    shipped clock epoch and merges the spans onto its own timeline under a
+    ``worker-<pid>`` lane.  They never reach verdict output or the store
+    (``_PERSISTED_FIELDS`` excludes them), so traced and untraced runs stay
+    byte-identical.
+    """
+    if TRACER.enabled:
+        payload["spans"] = TRACER.drain()
+        payload["span_epoch"] = TRACER.clock_epoch()
+    return payload
 
 
 def execute_indexed(task: Tuple[int, WorkUnit, Optional[Tuple[str, str, str]]]) \

@@ -40,6 +40,7 @@ from repro.ir.instructions import (
     Phi,
 )
 from repro.ir.values import Argument, ConstantInt, Value
+from repro.obs import TRACER
 from repro.passes.pass_base import TransformPass
 from repro.rangeanalysis.analysis import RangeAnalysis
 from repro.rangeanalysis.classify import shrink_base
@@ -125,7 +126,13 @@ def convert_to_essa(function: Function,
     function.essa_form = True
     if ranges is None:
         ranges = RangeAnalysis(function)
+    with TRACER.span("essa.transform", fn=function.name):
+        _insert_copies(function, ranges, info)
+    return info
 
+
+def _insert_copies(function: Function, ranges: RangeAnalysis,
+                   info: EssaInfo) -> None:
     # --- σ-copies after conditionals -------------------------------------------------
     # First make sure every interesting branch target can host σ-copies
     # (single predecessor), then compute dominance once and insert copies in
@@ -177,7 +184,6 @@ def convert_to_essa(function: Function,
                 successor.insert(successor.first_non_phi_index(), copy)
                 info.sigma_copies.append(copy)
                 _rename_dominated_uses(domtree, operand, copy)
-    return info
 
 
 class EssaConstructionPass(TransformPass):

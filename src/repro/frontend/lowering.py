@@ -28,6 +28,7 @@ from repro.ir.ssa import promote_memory_to_registers
 from repro.ir.types import Type
 from repro.ir.values import ConstantInt, Value
 from repro.ir.verifier import verify_module
+from repro.obs import TRACER
 
 _COMPARISONS = {"<": "slt", "<=": "sle", ">": "sgt", ">=": "sge", "==": "eq", "!=": "ne"}
 _ARITHMETIC = {"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem"}
@@ -413,4 +414,8 @@ def lower_program(program: ast.Program, module_name: str = "program",
 def compile_source(source: str, module_name: str = "program",
                    promote: bool = True, verify: bool = True) -> Module:
     """Parse and lower mini-C ``source`` text to an IR module."""
-    return lower_program(parse_program(source), module_name, promote, verify)
+    with TRACER.span("frontend.parse", module=module_name):
+        program = parse_program(source)
+    with TRACER.span("frontend.lower", module=module_name,
+                     functions=len(program.functions)):
+        return lower_program(program, module_name, promote, verify)

@@ -21,6 +21,7 @@ from repro.ir.dominators import DominatorTree
 from repro.ir.function import Function
 from repro.ir.instructions import Alloca, Instruction, Load, Phi, Store
 from repro.ir.values import Undef, Value
+from repro.obs import TRACER
 
 
 def promotable_allocas(function: Function) -> List[Alloca]:
@@ -54,9 +55,10 @@ def promote_memory_to_registers(function: Function) -> int:
     allocas = promotable_allocas(function)
     if not allocas:
         return 0
-    domtree = DominatorTree(function)
-    for alloca in allocas:
-        _promote_single(function, alloca, domtree)
+    with TRACER.span("ir.mem2reg", fn=function.name, allocas=len(allocas)):
+        domtree = DominatorTree(function)
+        for alloca in allocas:
+            _promote_single(function, alloca, domtree)
     return len(allocas)
 
 

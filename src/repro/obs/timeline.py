@@ -1,0 +1,130 @@
+"""Merged span timelines: per-phase summaries and per-lane skew.
+
+A :class:`Timeline` is the coordinator-side view of the span records
+captured by :class:`~repro.obs.tracer.Tracer` — including shard buffers
+shipped back from worker processes, which land on distinct *lanes*
+(``worker-<pid>``; locally recorded spans sit on the ``main`` lane).
+
+The merge rules mirror ``DisambiguationStatistics.merge``: combining two
+timelines is lossless concatenation followed by a deterministic sort on
+``(lane, ts, name)``, so merging the same shards in any arrival order
+produces the same timeline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+
+MAIN_LANE = "main"
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sequence."""
+    if not sorted_values:
+        return 0.0
+    rank = max(int(math.ceil(q / 100.0 * len(sorted_values))), 1)
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+class Timeline:
+    """An ordered collection of finished span records.
+
+    Records are the plain dicts the tracer buffers (``name``/``ts``/
+    ``dur``/``self``/``depth``/``args`` plus an optional ``lane``).  The
+    constructor copies and normalises: every record gets a ``lane`` key and
+    the collection is sorted by ``(lane, ts, name)`` so downstream output
+    (Chrome export, the ``stats --timings`` table) is deterministic.
+    """
+
+    def __init__(self, spans: Optional[Iterable[Mapping[str, object]]] = None
+                 ) -> None:
+        records: List[Dict[str, object]] = []
+        for span in spans or ():
+            record = dict(span)
+            record.setdefault("lane", MAIN_LANE)
+            records.append(record)
+        records.sort(key=lambda r: (str(r["lane"]), float(r["ts"]),
+                                    str(r["name"])))
+        self.spans = records
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __iter__(self) -> Iterator[Dict[str, object]]:
+        return iter(self.spans)
+
+    def merge(self, other: "Timeline") -> "Timeline":
+        """A new timeline holding both span sets (order-independent)."""
+        return Timeline(self.spans + other.spans)
+
+    # -- views -------------------------------------------------------------------
+    def lanes(self) -> List[str]:
+        """Lane names, ``main`` first, workers in sorted order after."""
+        names = {str(span["lane"]) for span in self.spans}
+        ordered = sorted(names - {MAIN_LANE})
+        return ([MAIN_LANE] if MAIN_LANE in names else []) + ordered
+
+    def phases(self) -> List[str]:
+        """Distinct span names, sorted."""
+        return sorted({str(span["name"]) for span in self.spans})
+
+    def phase_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-phase aggregates: count, total/self seconds, min/max/p50/p99."""
+        grouped: Dict[str, List[float]] = {}
+        selves: Dict[str, float] = {}
+        for span in self.spans:
+            name = str(span["name"])
+            grouped.setdefault(name, []).append(float(span["dur"]))
+            selves[name] = selves.get(name, 0.0) + float(span.get(
+                "self", span["dur"]))
+        summary: Dict[str, Dict[str, float]] = {}
+        for name, durs in grouped.items():
+            durs.sort()
+            summary[name] = {
+                "count": len(durs),
+                "total": sum(durs),
+                "self": selves[name],
+                "min": durs[0],
+                "max": durs[-1],
+                "p50": _percentile(durs, 50.0),
+                "p99": _percentile(durs, 99.0),
+            }
+        return summary
+
+    def lane_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-lane busy time (sum of top-level span durations) and skew.
+
+        ``skew`` is ``max/min`` across lanes' busy time (1.0 when balanced;
+        reported on every lane for table convenience).  Only depth-0 spans
+        count so nested phases aren't double-billed.
+        """
+        busy: Dict[str, float] = {}
+        counts: Dict[str, int] = {}
+        for span in self.spans:
+            lane = str(span["lane"])
+            counts[lane] = counts.get(lane, 0) + 1
+            if int(span.get("depth", 0)) == 0:
+                busy[lane] = busy.get(lane, 0.0) + float(span["dur"])
+        if not counts:
+            return {}
+        values = [busy.get(lane, 0.0) for lane in counts]
+        low, high = min(values), max(values)
+        skew = (high / low) if low > 0 else float("inf") if high > 0 else 1.0
+        return {
+            lane: {
+                "spans": counts[lane],
+                "busy": busy.get(lane, 0.0),
+                "min": low,
+                "max": high,
+                "skew": skew,
+            }
+            for lane in sorted(counts)
+        }
+
+    def timing_rows(self) -> List[Dict[str, object]]:
+        """`stats --timings` table rows, slowest phase (by total) first."""
+        summary = self.phase_summary()
+        rows = [dict(stats, phase=name) for name, stats in summary.items()]
+        rows.sort(key=lambda row: (-float(row["total"]), str(row["phase"])))
+        return rows

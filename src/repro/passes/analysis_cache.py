@@ -45,12 +45,29 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
 
 
 class CacheStatistics:
-    """Hit/miss counters, mostly for tests and the throughput benchmark."""
+    """Hit/miss counters, for tests, benchmarks and ``repro stats``.
+
+    ``hits``/``misses`` aggregate every lookup; :meth:`record` additionally
+    keeps per-kind counters (``essa``, ``ranges``, ``lessthan``,
+    ``evaluation``, ...) so the stats surface can show *which* table a cold
+    run is missing in.
+    """
 
     def __init__(self) -> None:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self.by_kind: Dict[str, Dict[str, int]] = {}
+
+    def record(self, kind: str, hit: bool) -> None:
+        """Count one lookup of ``kind``, updating the aggregates too."""
+        counters = self.by_kind.setdefault(kind, {"hits": 0, "misses": 0})
+        if hit:
+            self.hits += 1
+            counters["hits"] += 1
+        else:
+            self.misses += 1
+            counters["misses"] += 1
 
     @property
     def lookups(self) -> int:
@@ -103,9 +120,9 @@ class FunctionAnalysisCache:
 
         info = self._essa.get(function)
         if info is not None:
-            self.statistics.hits += 1
+            self.statistics.record("essa", hit=True)
             return info
-        self.statistics.misses += 1
+        self.statistics.record("essa", hit=False)
         if getattr(function, "essa_form", False):
             # Converted outside the cache: nothing to do, record an empty
             # summary so later calls hit.
@@ -124,9 +141,9 @@ class FunctionAnalysisCache:
 
         cached = self._ranges.get(function)
         if cached is not None:
-            self.statistics.hits += 1
+            self.statistics.record("ranges", hit=True)
             return cached
-        self.statistics.misses += 1
+        self.statistics.record("ranges", hit=False)
         analysis = RangeAnalysis(function)
         self._ranges[function] = analysis
         return analysis
@@ -138,9 +155,9 @@ class FunctionAnalysisCache:
 
         cached = self._function_lessthan.get(function)
         if cached is not None:
-            self.statistics.hits += 1
+            self.statistics.record("lessthan", hit=True)
             return cached
-        self.statistics.misses += 1
+        self.statistics.record("lessthan", hit=False)
         analysis = LessThanAnalysis(function, build_essa=True, cache=self)
         self._function_lessthan[function] = analysis
         return analysis
@@ -153,9 +170,9 @@ class FunctionAnalysisCache:
         key = (module, interprocedural)
         cached = self._module_lessthan.get(key)
         if cached is not None:
-            self.statistics.hits += 1
+            self.statistics.record("lessthan", hit=True)
             return cached
-        self.statistics.misses += 1
+        self.statistics.record("lessthan", hit=False)
         analysis = LessThanAnalysis(module, build_essa=True,
                                     interprocedural=interprocedural, cache=self)
         self._module_lessthan[key] = analysis
@@ -168,9 +185,9 @@ class FunctionAnalysisCache:
 
         cached = self._function_disambiguators.get(function)
         if cached is not None:
-            self.statistics.hits += 1
+            self.statistics.record("disambiguator", hit=True)
             return cached
-        self.statistics.misses += 1
+        self.statistics.record("disambiguator", hit=False)
         analysis = self.lessthan(function)
         disambiguator = PointerDisambiguator(analysis)
         self._function_disambiguators[function] = disambiguator
@@ -184,9 +201,9 @@ class FunctionAnalysisCache:
         key = (module, interprocedural)
         cached = self._module_disambiguators.get(key)
         if cached is not None:
-            self.statistics.hits += 1
+            self.statistics.record("disambiguator", hit=True)
             return cached
-        self.statistics.misses += 1
+        self.statistics.record("disambiguator", hit=False)
         analysis = self.module_lessthan(module, interprocedural)
         disambiguator = PointerDisambiguator(analysis)
         self._module_disambiguators[key] = disambiguator
@@ -205,10 +222,7 @@ class FunctionAnalysisCache:
         for that function.
         """
         cached = self._evaluations.get((function, label))
-        if cached is not None:
-            self.statistics.hits += 1
-        else:
-            self.statistics.misses += 1
+        self.statistics.record("evaluation", hit=cached is not None)
         return cached
 
     def put_evaluation(self, function: Function, label: str, payload: object) -> None:

@@ -69,6 +69,7 @@ from repro.ir.instructions import (
 )
 from repro.ir.loops import LoopInfo
 from repro.ir.values import Argument, ConstantInt, Undef, Value
+from repro.obs import TRACER
 from repro.passes.pass_base import AnalysisPass
 from repro.rangeanalysis.graph import DependencyGraph, SCCComponent
 from repro.rangeanalysis.interval import (
@@ -125,6 +126,10 @@ class RangeStatistics:
         self.order = "fifo"
         self.pops = 0
         self.coalesced_pushes = 0
+        #: wall time of the solve, measured by an always-on obs timer.  Kept
+        #: out of ``as_dict`` so counter aggregation and byte-parity
+        #: comparisons never see wall-clock jitter.
+        self.solve_time_seconds = 0.0
 
     def solver_info(self) -> SolverInfo:
         """These counters as a mergeable cross-solver :class:`SolverInfo`."""
@@ -189,7 +194,10 @@ class RangeAnalysis:
         #: values whose bounds widening actually changed — the per-value
         #: widening points (back-edge φ/σ nodes and the chains they feed).
         self.widening_points: Set[Value] = set()
-        self._run()
+        with TRACER.timer("range.solve", fn=function.name,
+                          solver=self.solver, order=self.order) as timer:
+            self._run()
+        self.statistics.solve_time_seconds = timer.seconds
 
     # -- public API ---------------------------------------------------------------
     def range_of(self, value: Value) -> Interval:

@@ -1,0 +1,193 @@
+"""Timeline merge/summaries and the Chrome trace-event export."""
+
+import json
+
+import pytest
+
+from repro.obs import (MAIN_LANE, Timeline, to_chrome_trace,
+                       validate_chrome_trace, write_chrome_trace)
+
+
+def span(name, ts, dur, lane=None, depth=0, self_seconds=None, args=None):
+    record = {"name": name, "ts": ts, "dur": dur, "depth": depth,
+              "self": dur if self_seconds is None else self_seconds,
+              "args": args or {}}
+    if lane is not None:
+        record["lane"] = lane
+    return record
+
+
+# ---------------------------------------------------------------------------
+# Construction and merge
+# ---------------------------------------------------------------------------
+
+def test_spans_default_to_the_main_lane():
+    timeline = Timeline([span("a", 0.0, 1.0)])
+    assert timeline.lanes() == [MAIN_LANE]
+
+
+def test_sorting_is_by_lane_then_timestamp():
+    timeline = Timeline([
+        span("late", 5.0, 1.0, lane="worker-2"),
+        span("early", 1.0, 1.0, lane="worker-2"),
+        span("main-span", 3.0, 1.0),
+    ])
+    order = [(record["lane"], record["name"]) for record in timeline]
+    assert order == [("main", "main-span"), ("worker-2", "early"),
+                     ("worker-2", "late")]
+
+
+def test_merge_is_order_independent():
+    a = Timeline([span("x", 0.0, 1.0, lane="worker-1"),
+                  span("y", 2.0, 1.0, lane="worker-1")])
+    b = Timeline([span("z", 1.0, 1.0, lane="worker-2")])
+    ab, ba = a.merge(b), b.merge(a)
+    assert ab.spans == ba.spans
+
+
+def test_merge_preserves_every_span():
+    a = Timeline([span("x", 0.0, 1.0)])
+    b = Timeline([span("x", 0.0, 1.0, lane="worker-1")])
+    assert len(a.merge(b)) == 2
+
+
+def test_lanes_lists_main_first_then_workers_sorted():
+    timeline = Timeline([
+        span("a", 0.0, 1.0, lane="worker-9"),
+        span("b", 0.0, 1.0, lane="worker-10"),
+        span("c", 0.0, 1.0),
+    ])
+    assert timeline.lanes() == ["main", "worker-10", "worker-9"]
+
+
+# ---------------------------------------------------------------------------
+# Summaries
+# ---------------------------------------------------------------------------
+
+def test_phase_summary_counts_totals_and_extremes():
+    timeline = Timeline([
+        span("solve", 0.0, 1.0),
+        span("solve", 2.0, 3.0),
+        span("parse", 0.0, 0.5),
+    ])
+    summary = timeline.phase_summary()
+    assert summary["solve"]["count"] == 2
+    assert summary["solve"]["total"] == pytest.approx(4.0)
+    assert summary["solve"]["min"] == pytest.approx(1.0)
+    assert summary["solve"]["max"] == pytest.approx(3.0)
+    assert summary["parse"]["count"] == 1
+
+
+def test_phase_summary_separates_self_time():
+    timeline = Timeline([
+        span("outer", 0.0, 2.0, self_seconds=0.5),
+        span("inner", 0.0, 1.5, depth=1),
+    ])
+    summary = timeline.phase_summary()
+    assert summary["outer"]["self"] == pytest.approx(0.5)
+    assert summary["outer"]["total"] == pytest.approx(2.0)
+
+
+def test_percentiles_are_nearest_rank():
+    durations = [float(i) for i in range(1, 101)]  # 1..100
+    timeline = Timeline([span("p", float(i), d)
+                         for i, d in enumerate(durations)])
+    summary = timeline.phase_summary()["p"]
+    assert summary["p50"] == pytest.approx(50.0)
+    assert summary["p99"] == pytest.approx(99.0)
+
+
+def test_p50_of_two_values_is_the_lower():
+    timeline = Timeline([span("p", 0.0, 1.0), span("p", 1.0, 9.0)])
+    assert timeline.phase_summary()["p"]["p50"] == pytest.approx(1.0)
+
+
+def test_lane_summary_reports_busy_time_and_skew():
+    timeline = Timeline([
+        span("u", 0.0, 3.0, lane="worker-1"),
+        span("u", 0.0, 1.0, lane="worker-2"),
+        span("nested", 0.0, 0.5, lane="worker-2", depth=1),
+    ])
+    lanes = timeline.lane_summary()
+    assert lanes["worker-1"]["busy"] == pytest.approx(3.0)
+    # Nested spans are not double-billed.
+    assert lanes["worker-2"]["busy"] == pytest.approx(1.0)
+    assert lanes["worker-1"]["skew"] == pytest.approx(3.0)
+
+
+def test_timing_rows_sort_slowest_phase_first():
+    timeline = Timeline([
+        span("fast", 0.0, 0.1),
+        span("slow", 0.0, 5.0),
+    ])
+    rows = timeline.timing_rows()
+    assert [row["phase"] for row in rows] == ["slow", "fast"]
+
+
+def test_empty_timeline_summaries():
+    timeline = Timeline()
+    assert timeline.phase_summary() == {}
+    assert timeline.lane_summary() == {}
+    assert timeline.timing_rows() == []
+
+
+# ---------------------------------------------------------------------------
+# Chrome export
+# ---------------------------------------------------------------------------
+
+def test_chrome_trace_emits_complete_events_in_microseconds():
+    timeline = Timeline([span("solve", 1.0, 0.25, args={"fn": "main"})])
+    payload = to_chrome_trace(timeline)
+    events = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+    (event,) = events
+    assert event["name"] == "solve"
+    assert event["ts"] == pytest.approx(1.0e6)
+    assert event["dur"] == pytest.approx(0.25e6)
+    assert event["args"] == {"fn": "main"}
+
+
+def test_chrome_trace_names_lanes_via_metadata_events():
+    timeline = Timeline([
+        span("a", 0.0, 1.0),
+        span("b", 0.0, 1.0, lane="worker-3"),
+    ])
+    payload = to_chrome_trace(timeline)
+    meta = {e["args"]["name"]: e["tid"]
+            for e in payload["traceEvents"] if e["ph"] == "M"}
+    assert meta["main"] == 0
+    assert meta["worker-3"] == 1
+    tids = {e["name"]: e["tid"]
+            for e in payload["traceEvents"] if e["ph"] == "X"}
+    assert tids == {"a": 0, "b": 1}
+
+
+def test_chrome_trace_validates_against_own_schema():
+    timeline = Timeline([
+        span("a", 0.0, 1.0),
+        span("b", 0.5, 1.0, lane="worker-1", args={"k": 1}),
+    ])
+    assert validate_chrome_trace(to_chrome_trace(timeline)) == []
+
+
+def test_validator_flags_malformed_payloads():
+    assert validate_chrome_trace({}) == ["traceEvents is not a list"]
+    problems = validate_chrome_trace({"traceEvents": [
+        {"ph": "Q", "name": 3, "pid": "x", "tid": 0, "args": []},
+        {"ph": "X", "name": "ok", "pid": 1, "tid": 0, "ts": -5, "dur": 1.0},
+    ]})
+    text = "\n".join(problems)
+    assert "unknown ph" in text
+    assert "name is not a string" in text
+    assert "pid is not an int" in text
+    assert "args is not an object" in text
+    assert "ts is not a non-negative number" in text
+
+
+def test_write_chrome_trace_round_trips(tmp_path):
+    timeline = Timeline([span("solve", 0.0, 1.0)])
+    path = str(tmp_path / "trace.json")
+    count = write_chrome_trace(path, timeline)
+    assert count == 1
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert validate_chrome_trace(payload) == []
