@@ -31,6 +31,7 @@ _LAZY = {
     "Session": ("repro.api.session", "Session"),
     "CompiledUnit": ("repro.api.session", "CompiledUnit"),
     "DisambiguationReport": ("repro.api.session", "DisambiguationReport"),
+    "UpdateResult": ("repro.api.session", "UpdateResult"),
     "main": ("repro.api.cli", "main"),
 }
 
@@ -40,6 +41,7 @@ __all__ = [
     "Session",
     "CompiledUnit",
     "DisambiguationReport",
+    "UpdateResult",
     "active_config",
     "env_flag",
     "env_float",

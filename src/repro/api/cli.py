@@ -339,6 +339,35 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             rate = counters["hits"] / lookups if lookups else 0.0
             print("  {:24s} {}/{} ({:.2%})".format(
                 kind, counters["hits"], lookups, rate))
+        print("[fingerprints]")
+        from repro.ir.callgraph import module_fingerprints
+
+        prints = module_fingerprints(unit.module)
+        graph = prints.graph
+        components = graph.components()
+        recursive = sum(
+            1 for component in components
+            if len(component) > 1
+            or component[0] in graph.callees.get(component[0], []))
+        print("  {:24s} {}".format(
+            "call_edges",
+            sum(len(callees) for callees in graph.callees.values())))
+        print("  {:24s} {}".format("call_graph_sccs", len(components)))
+        print("  {:24s} {}".format("recursive_sccs", recursive))
+        # Warm-hit rates of fingerprint-keyed store lookups and of refresh
+        # classifications accumulate under the same by_kind counters printed
+        # above whenever this session served churn (Session.update_source);
+        # a one-shot stats run reports them empty.
+        for kind in ("fingerprint", "refresh"):
+            counters = cache_stats.by_kind.get(kind)
+            if counters:
+                lookups = counters["hits"] + counters["misses"]
+                rate = counters["hits"] / lookups if lookups else 0.0
+                print("  {:24s} {}/{} ({:.2%})".format(
+                    kind + "_hit_rate", counters["hits"], lookups, rate))
+            else:
+                print("  {:24s} 0/0 (no churn in this run)".format(
+                    kind + "_hit_rate"))
         if "store" in statistics:
             print("[store]")
             for key, value in statistics["store"].items():

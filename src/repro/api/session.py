@@ -54,7 +54,7 @@ from repro.frontend import compile_source
 from repro.ir.module import Module
 from repro.ir.printer import print_module
 from repro.obs import TRACER, write_chrome_trace
-from repro.passes.analysis_cache import FunctionAnalysisCache
+from repro.passes.analysis_cache import FunctionAnalysisCache, RefreshResult
 
 
 class _Unopened:
@@ -187,6 +187,25 @@ class CompiledUnit:
             self.name, self.module.instruction_count())
 
 
+class UpdateResult:
+    """What :meth:`Session.update_source` produced for one edit.
+
+    ``result`` is the full :class:`UnitResult` — verdicts bit-identical to a
+    cold evaluation of the same source; ``refresh`` records what the
+    fingerprint diff actually recomputed (dirty/clean function names,
+    migrated payload count).
+    """
+
+    def __init__(self, result: UnitResult, refresh: RefreshResult) -> None:
+        self.result = result
+        self.refresh = refresh
+
+    def __repr__(self) -> str:
+        return "<UpdateResult dirty={} clean={} migrated={}>".format(
+            len(self.refresh.dirty), len(self.refresh.clean),
+            self.refresh.migrated)
+
+
 class Session:
     """The facade owning one config, one analysis cache and one store handle.
 
@@ -309,6 +328,30 @@ class Session:
                 if owned and store_obj is not None:
                     store_obj.close()
             return UnitResult(payload)
+
+    def update_source(self, name: str, source: str,
+                      specs: Sequence[Sequence[str]] = DEFAULT_SPECS,
+                      *, store: object = None,
+                      interprocedural: bool = True) -> "UpdateResult":
+        """Re-evaluate module ``name`` after an edit, incrementally.
+
+        The churn entry point: recompiles ``source``, diffs call-graph-aware
+        fingerprints against the previous ``update_source``/baseline call
+        for the same name (:meth:`FunctionAnalysisCache.refresh`), migrates
+        every still-valid evaluation payload onto the new compile, seeds the
+        range solver with the previous analyses for incremental re-solves,
+        then evaluates in-process exactly like :meth:`evaluate` — so
+        verdicts are bit-identical to a cold solve, only the edit's blast
+        radius is recomputed, and with a session store the untouched
+        functions hit their fingerprint-keyed entries warm.  The first call
+        for a name is the cold baseline (everything dirty).
+        """
+        with self.config.activate():
+            module = compile_source(source, module_name=name)
+            refresh = self.cache.refresh(module)
+        result = self.evaluate(module, specs, store=store,
+                               interprocedural=interprocedural)
+        return UpdateResult(result, refresh)
 
     def evaluate_source(self, name: str, source: str,
                         specs: Sequence[Sequence[str]] = DEFAULT_SPECS,

@@ -5,10 +5,11 @@ mem2reg and the e-SSA conversion are deterministic, so the same source text
 always produces bit-identical IR and bit-identical verdicts.  The
 :class:`AnalysisStore` exploits that to persist per-function evaluation
 payloads *across processes and across runs*: entries are keyed by a content
-hash of the function's (pre-conversion) IR text — plus the surrounding
-module's hash, because the interprocedural less-than analysis reads the
-whole module — and a warm store lets repeated benchmark runs skip the
-analysis pipeline entirely.
+hash of the function's (pre-conversion) IR text — plus a call-graph-aware
+fingerprint of exactly the module slice the analysis can observe (see
+:mod:`repro.ir.callgraph`), so editing one function leaves every unrelated
+function's entries warm — and a warm store lets repeated benchmark runs
+skip the analysis pipeline entirely.
 
 Two backends provide the same mapping interface:
 
@@ -65,7 +66,13 @@ except ImportError:  # pragma: no cover
 #: v2: function-level keys encode the interprocedural mode.
 #: v3: entries carry generation and size columns (growth management).
 #: v4: persisted statistics payloads carry solver (SolverInfo) counters.
-STORE_VERSION = "aaeval-4"
+#: v5: function-level keys fold a call-graph-aware *fingerprint* (dependency
+#:     or reachable-region, see repro.ir.callgraph) instead of the whole
+#:     module's text hash, and unit keys NUL-separate each label.  Migration:
+#:     ``aaeval-4`` stores are cleared on the first writable open (their
+#:     entries are unreachable under the new derivation anyway); read-only
+#:     opens of an old store miss cleanly on every lookup, no crash.
+STORE_VERSION = "aaeval-5"
 
 
 def default_store_max_bytes() -> Optional[int]:
@@ -79,20 +86,24 @@ def default_store_max_bytes() -> Optional[int]:
     return resolved_store_max_bytes()
 
 
-def function_key(label: str, function_text: str, module_text_hash: str = "") -> str:
+def function_key(label: str, function_text: str, fingerprint: str = "") -> str:
     """Content-address one ``(analysis label, function)`` evaluation.
 
-    ``module_text_hash`` ties the entry to the surrounding module: the
-    interprocedural less-than analysis derives constraints from every
-    function, so editing any part of the module must miss.  Pass the digest
-    from :func:`text_hash` of the whole module's printed IR.
+    ``fingerprint`` ties the entry to exactly the slice of the module the
+    analysis can observe (see :mod:`repro.ir.callgraph`): the reachable-region
+    fingerprint for interprocedural less-than specs (facts flow caller →
+    callee, so only the function and its transitive callers matter), the
+    dependency fingerprint for intraprocedural specs, or the whole module's
+    :func:`text_hash` for module-global analyses (Andersen/Steensgaard unify
+    state across every function).  Editing a function now misses only the
+    entries whose fingerprint actually covers it.
     """
     digest = hashlib.sha256()
     digest.update(label.encode("utf-8"))
     digest.update(b"\x00")
     digest.update(function_text.encode("utf-8"))
     digest.update(b"\x00")
-    digest.update(module_text_hash.encode("utf-8"))
+    digest.update(fingerprint.encode("utf-8"))
     return digest.hexdigest()
 
 
@@ -113,8 +124,14 @@ def unit_key(kind: str, name: str, source: str, labels: Sequence[str],
     truth and are what partial warm runs draw from.
     """
     digest = hashlib.sha256()
-    for part in (kind, name, source, "|".join(labels),
-                 "ip" if interprocedural else "fn"):
+    # Each label is digested separately (NUL-terminated, like function_key)
+    # rather than pre-joined with a printable separator: a joined string
+    # cannot distinguish ["a|b"] from ["a", "b"] once a label contains the
+    # separator character.
+    parts: List[str] = [kind, name, source]
+    parts.extend(labels)
+    parts.append("ip" if interprocedural else "fn")
+    for part in parts:
         digest.update(part.encode("utf-8"))
         digest.update(b"\x00")
     return "unit-" + digest.hexdigest()

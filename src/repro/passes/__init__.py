@@ -8,7 +8,11 @@ results are cached per function until a transformation invalidates them.
 
 from repro.passes.pass_base import AnalysisPass, FunctionPass, ModulePass, TransformPass
 from repro.passes.manager import PassManager
-from repro.passes.analysis_cache import CacheStatistics, FunctionAnalysisCache
+from repro.passes.analysis_cache import (
+    CacheStatistics,
+    FunctionAnalysisCache,
+    RefreshResult,
+)
 
 __all__ = [
     "AnalysisPass",
@@ -18,4 +22,5 @@ __all__ = [
     "PassManager",
     "CacheStatistics",
     "FunctionAnalysisCache",
+    "RefreshResult",
 ]

@@ -30,13 +30,14 @@ state everywhere.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.ir.function import Function
 from repro.ir.module import Module
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.essa.transform import EssaInfo
+    from repro.ir.callgraph import ModuleFingerprints
     from repro.rangeanalysis.analysis import RangeAnalysis
 
 # The analysis modules themselves import ``repro.passes.pass_base`` (whose
@@ -90,11 +91,58 @@ class CacheStatistics:
             self.hits, self.misses, self.invalidations)
 
 
+def _module_content_hash(module: Module) -> str:
+    """The module's content hash under the engine's addressing convention
+    (printed IR minus the name line, so renamed-but-identical modules match)."""
+    from repro.engine.store import text_hash
+    from repro.engine.worker import module_content_text
+
+    return text_hash(module_content_text(module))
+
+
+class _ModuleSnapshot:
+    """One refresh baseline: the fingerprints and function objects of one
+    compile of a module (keyed by module name across recompiles)."""
+
+    __slots__ = ("prints", "functions", "module_hash")
+
+    def __init__(self, prints: "ModuleFingerprints",
+                 functions: Dict[str, Function], module_hash: str) -> None:
+        self.prints = prints
+        self.functions = functions
+        self.module_hash = module_hash
+
+
+class RefreshResult:
+    """What :meth:`FunctionAnalysisCache.refresh` decided about one edit."""
+
+    __slots__ = ("dirty", "clean", "removed", "migrated")
+
+    def __init__(self, dirty: List[str], clean: List[str],
+                 removed: List[str], migrated: int) -> None:
+        #: function names whose own IR changed (or that are new) — their
+        #: cached state was dropped and must be recomputed.
+        self.dirty = dirty
+        #: function names whose own IR is unchanged.
+        self.clean = clean
+        #: function names present in the previous snapshot only.
+        self.removed = removed
+        #: evaluation payloads carried over to the new function objects.
+        self.migrated = migrated
+
+    def __repr__(self) -> str:
+        return "<RefreshResult dirty={} clean={} removed={} migrated={}>".format(
+            len(self.dirty), len(self.clean), len(self.removed), self.migrated)
+
+
 class FunctionAnalysisCache:
     """Memoizes range analysis, e-SSA status and less-than analysis.
 
     All tables key on object identity (functions and modules hash by
-    identity), matching the rest of the code base.
+    identity), matching the rest of the code base.  :meth:`refresh` bridges
+    identities across recompiles: it diffs call-graph-aware fingerprints
+    (:mod:`repro.ir.callgraph`) against the previous snapshot of the same
+    module name and migrates still-valid state onto the new objects.
     """
 
     def __init__(self) -> None:
@@ -105,6 +153,20 @@ class FunctionAnalysisCache:
         self._function_disambiguators: Dict[Function, "PointerDisambiguator"] = {}
         self._module_disambiguators: Dict[Tuple[Module, bool], "PointerDisambiguator"] = {}
         self._evaluations: Dict[Tuple[Function, str], object] = {}
+        #: per-function label index over ``_evaluations`` so invalidation
+        #: touches only that function's entries instead of scanning them all.
+        self._function_evaluations: Dict[Function, Set[str]] = {}
+        #: previous-compile range analyses, consumed by :meth:`ranges` to run
+        #: an incremental re-solve instead of a cold one (see ``refresh``).
+        self._range_hints: Dict[Function, RangeAnalysis] = {}
+        #: the *pre-conversion* range analyses that drove each e-SSA
+        #: conversion, kept as next-generation seeds, plus the hints
+        #: :meth:`ensure_essa` consumes (the pre/post forms have different
+        #: value signatures, so the two hint families never mix).
+        self._pre_ranges: Dict[Function, RangeAnalysis] = {}
+        self._pre_range_hints: Dict[Function, RangeAnalysis] = {}
+        #: refresh baselines by module name.
+        self._snapshots: Dict[str, _ModuleSnapshot] = {}
         self.statistics = CacheStatistics()
 
     # -- e-SSA conversion ---------------------------------------------------------
@@ -128,7 +190,13 @@ class FunctionAnalysisCache:
             # summary so later calls hit.
             info = EssaInfo()
         else:
-            pre_ranges = RangeAnalysis(function)
+            pre_ranges = RangeAnalysis(
+                function, previous=self._pre_range_hints.pop(function, None))
+            self._pre_ranges[function] = pre_ranges
+            # Freeze the reuse signatures before the conversion rewrites the
+            # IR in place, so the next generation's pre-conversion solve can
+            # still match them.
+            pre_ranges.snapshot()
             info = convert_to_essa(function, pre_ranges)
             self._drop_function_entries(function)
         self._essa[function] = info
@@ -144,9 +212,19 @@ class FunctionAnalysisCache:
             self.statistics.record("ranges", hit=True)
             return cached
         self.statistics.record("ranges", hit=False)
-        analysis = RangeAnalysis(function)
+        # A hint is the previous compile's finished analysis of (an edit of)
+        # this function: the solver copies every component whose structure
+        # and external inputs are unchanged, bit-identical to a cold solve.
+        analysis = RangeAnalysis(function,
+                                 previous=self._range_hints.pop(function, None))
         self._ranges[function] = analysis
         return analysis
+
+    def hint_previous_ranges(self, function: Function,
+                             previous: "RangeAnalysis") -> None:
+        """Seed the next :meth:`ranges` miss on ``function`` with a previous
+        compile's analysis for an incremental re-solve."""
+        self._range_hints[function] = previous
 
     # -- less-than analysis -----------------------------------------------------------
     def lessthan(self, function: Function) -> "LessThanAnalysis":
@@ -232,6 +310,7 @@ class FunctionAnalysisCache:
         warm-loading persisted results from an analysis store.
         """
         self._evaluations[(function, label)] = payload
+        self._function_evaluations.setdefault(function, set()).add(label)
 
     def evaluation_count(self) -> int:
         return len(self._evaluations)
@@ -248,14 +327,33 @@ class FunctionAnalysisCache:
         self._function_disambiguators.pop(function, None)
 
     def _drop_function_evaluations(self, function: Function) -> None:
-        for key in [k for k in self._evaluations if k[0] is function]:
-            del self._evaluations[key]
+        # The per-function label index makes this O(entries for *this*
+        # function); the old full-table scan cost O(all entries) per
+        # invalidation, quadratic over a churn session.
+        for label in self._function_evaluations.pop(function, ()):
+            self._evaluations.pop((function, label), None)
+
+    def _drop_one_evaluation(self, function: Function, label: str) -> None:
+        self._evaluations.pop((function, label), None)
+        labels = self._function_evaluations.get(function)
+        if labels is not None:
+            labels.discard(label)
+            if not labels:
+                del self._function_evaluations[function]
 
     def invalidate(self, function: Optional[Function] = None) -> None:
         """Drop cached state for ``function`` (or everything, when ``None``).
 
         Module-level analyses covering the function's module are dropped too,
-        since their constraints embed the function's instructions.
+        since their constraints embed the function's instructions.  Sibling
+        functions are invalidated *per call-graph reachability*, not
+        wholesale: an edit's interprocedural facts can only reach the edited
+        function's transitive callees (facts flow caller → callee) and its
+        dependency fingerprint only covers its transitive callers, so
+        evaluation payloads of functions outside both closures survive.  The
+        reachability is read from the post-mutation call graph; an edit that
+        *removes* call edges should invalidate both endpoints (or everything)
+        explicitly.
         """
         self.statistics.invalidations += 1
         if function is None:
@@ -266,16 +364,150 @@ class FunctionAnalysisCache:
             self._function_disambiguators.clear()
             self._module_disambiguators.clear()
             self._evaluations.clear()
+            self._function_evaluations.clear()
+            self._range_hints.clear()
+            self._pre_ranges.clear()
+            self._pre_range_hints.clear()
+            self._snapshots.clear()
             return
+        from repro.ir.callgraph import CallGraph
+
         self._essa.pop(function, None)
         self._drop_function_entries(function)
         self._drop_function_evaluations(function)
+        self._range_hints.pop(function, None)
+        self._pre_ranges.pop(function, None)
+        self._pre_range_hints.pop(function, None)
         module = function.parent
         if module is not None:
             for key in [k for k in self._module_lessthan if k[0] is module]:
                 del self._module_lessthan[key]
             for key in [k for k in self._module_disambiguators if k[0] is module]:
                 del self._module_disambiguators[key]
+            graph = CallGraph(module)
+            if function.name in graph.callees:
+                coupled = (graph.transitive_callers(function.name)
+                           | graph.transitive_callees(function.name))
+                coupled.discard(function.name)
+                for other in module.defined_functions():
+                    if other is not function and other.name in coupled:
+                        self._drop_function_evaluations(other)
+
+    # -- incremental refresh -----------------------------------------------------------
+    def refresh(self, module: Module) -> RefreshResult:
+        """Diff ``module`` against the previous snapshot of the same module
+        name and invalidate exactly the edit's blast radius.
+
+        The first call per module name records a baseline (every function
+        reported dirty).  Later calls classify each function by its own-IR
+        hash, then for every *clean* function migrate each evaluation payload
+        whose fingerprint scope (see
+        :func:`repro.engine.workunit.label_fingerprint_scope`) is unchanged
+        onto the new compile's function object — region-scoped entries
+        survive edits outside ``{function} ∪ transitive callers``,
+        dependency-scoped entries survive edits outside the callee closure,
+        module-scoped entries only a byte-identical module.  Dirty functions
+        additionally get their previous range analysis registered as an
+        incremental-re-solve hint (consumed by :meth:`ranges`).  Stale state
+        of the previous compile's objects is purged.
+
+        Snapshots hash whatever form the functions are currently in, so call
+        ``refresh`` at a consistent pipeline point (before e-SSA conversion,
+        like the engine's content addressing).
+        """
+        from repro.engine.workunit import label_fingerprint_scope
+        from repro.ir.callgraph import module_fingerprints
+
+        prints = module_fingerprints(module)
+        functions = {function.name: function
+                     for function in module.defined_functions()}
+        module_hash = _module_content_hash(module)
+        snapshot = _ModuleSnapshot(prints, functions, module_hash)
+        previous = self._snapshots.get(module.name)
+        self._snapshots[module.name] = snapshot
+        if previous is None:
+            return RefreshResult(dirty=sorted(functions), clean=[],
+                                 removed=[], migrated=0)
+
+        dirty = [name for name in sorted(functions)
+                 if prints.own[name] != previous.prints.own.get(name)]
+        dirty_set = set(dirty)
+        clean = [name for name in sorted(functions) if name not in dirty_set]
+        removed = [name for name in sorted(previous.functions)
+                   if name not in functions]
+        for name in sorted(functions):
+            self.statistics.record("refresh", hit=name not in dirty_set)
+
+        migrated = 0
+        for name in clean:
+            old_function = previous.functions.get(name)
+            if old_function is None:
+                continue
+            for label in sorted(self._function_evaluations.get(old_function, ())):
+                scope = label_fingerprint_scope(label)
+                if scope == "module":
+                    valid = previous.module_hash == module_hash
+                elif scope == "region":
+                    valid = (previous.prints.region.get(name)
+                             == prints.region[name])
+                else:
+                    valid = (previous.prints.fingerprint.get(name)
+                             == prints.fingerprint[name])
+                if not valid:
+                    if old_function is functions[name]:
+                        # In-place refresh: the stale payload sits on the
+                        # *current* object and must go.
+                        self._drop_one_evaluation(old_function, label)
+                    continue
+                payload = self._evaluations.get((old_function, label))
+                if payload is not None and old_function is not functions[name]:
+                    self.put_evaluation(functions[name], label, payload)
+                    migrated += 1
+
+        # Previous-compile range analyses become incremental-re-solve seeds
+        # for the new objects; for clean functions the solver reuses every
+        # component, for dirty ones only the edit's def-use frontier re-runs.
+        for name, function in functions.items():
+            old_function = previous.functions.get(name)
+            if old_function is None or old_function is function:
+                continue
+            old_ranges = self._ranges.get(old_function)
+            if old_ranges is not None:
+                self._range_hints[function] = old_ranges
+            old_pre = self._pre_ranges.get(old_function)
+            if old_pre is not None:
+                self._pre_range_hints[function] = old_pre
+
+        # Purge the previous compile's (now unreachable) objects, and stale
+        # state when refreshing the same compile in place.
+        for name, old_function in previous.functions.items():
+            if old_function is functions.get(name):
+                if name in dirty_set:
+                    self._essa.pop(old_function, None)
+                    self._drop_function_entries(old_function)
+                    self._drop_function_evaluations(old_function)
+                    self._pre_ranges.pop(old_function, None)
+                continue
+            self._essa.pop(old_function, None)
+            self._drop_function_entries(old_function)
+            self._drop_function_evaluations(old_function)
+            self._range_hints.pop(old_function, None)
+            self._pre_ranges.pop(old_function, None)
+            self._pre_range_hints.pop(old_function, None)
+        old_modules = {old_function.parent
+                       for old_function in previous.functions.values()
+                       if old_function.parent is not None
+                       and old_function.parent is not module}
+        stale_modules = set(old_modules)
+        if dirty or removed:
+            stale_modules.add(module)
+        for stale in stale_modules:
+            for key in [k for k in self._module_lessthan if k[0] is stale]:
+                del self._module_lessthan[key]
+            for key in [k for k in self._module_disambiguators if k[0] is stale]:
+                del self._module_disambiguators[key]
+        return RefreshResult(dirty=dirty, clean=clean, removed=removed,
+                             migrated=migrated)
 
     # -- introspection ---------------------------------------------------------------
     def cached_functions(self) -> int:

@@ -9,7 +9,7 @@ topological order.  Acyclic components are evaluated once; cyclic components
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Set
+from typing import Callable, Dict, List, Optional
 
 from repro.ir.function import Function
 from repro.ir.instructions import (
@@ -21,62 +21,14 @@ from repro.ir.instructions import (
     Phi,
 )
 from repro.ir.values import Argument, Value
+from repro.util.scc import strongly_connected_components
 
-
-def strongly_connected_components(nodes: Sequence[Hashable],
-                                  successors: Dict[Hashable, List[Hashable]]) -> List[List[Hashable]]:
-    """Tarjan's algorithm, iterative to avoid recursion limits.
-
-    Returns the components in reverse topological order (a component appears
-    before the components it depends on are *not* guaranteed); callers that
-    need topological order should reverse the result, which this function's
-    users do.  Components are lists of nodes.
-    """
-    index_counter = [0]
-    indices: Dict[Hashable, int] = {}
-    lowlinks: Dict[Hashable, int] = {}
-    on_stack: Set[Hashable] = set()
-    stack: List[Hashable] = []
-    components: List[List[Hashable]] = []
-
-    for root in nodes:
-        if root in indices:
-            continue
-        work = [(root, iter(successors.get(root, [])))]
-        indices[root] = lowlinks[root] = index_counter[0]
-        index_counter[0] += 1
-        stack.append(root)
-        on_stack.add(root)
-        while work:
-            node, succ_iter = work[-1]
-            advanced = False
-            for succ in succ_iter:
-                if succ not in indices:
-                    indices[succ] = lowlinks[succ] = index_counter[0]
-                    index_counter[0] += 1
-                    stack.append(succ)
-                    on_stack.add(succ)
-                    work.append((succ, iter(successors.get(succ, []))))
-                    advanced = True
-                    break
-                if succ in on_stack:
-                    lowlinks[node] = min(lowlinks[node], indices[succ])
-            if advanced:
-                continue
-            work.pop()
-            if work:
-                parent = work[-1][0]
-                lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
-            if lowlinks[node] == indices[node]:
-                component = []
-                while True:
-                    member = stack.pop()
-                    on_stack.discard(member)
-                    component.append(member)
-                    if member is node:
-                        break
-                components.append(component)
-    return components
+__all__ = [
+    "DependencyGraph",
+    "SCCComponent",
+    "SCCSchedule",
+    "strongly_connected_components",
+]
 
 
 class DependencyGraph:

@@ -119,6 +119,42 @@ def test_unit_key_sensitivity():
     assert unit_key("aaeval", "p", "int main() {}", ["lt"], True) == base
 
 
+def test_unit_key_label_separator_unambiguous():
+    """Labels are digested NUL-terminated, so no label text can collide
+    with a differently-split label list (the old ``"|".join`` could)."""
+    assert (unit_key("aaeval", "p", "src", ["a|b"], True)
+            != unit_key("aaeval", "p", "src", ["a", "b"], True))
+    assert (unit_key("aaeval", "p", "src", ["a", "b|c"], True)
+            != unit_key("aaeval", "p", "src", ["a|b", "c"], True))
+
+
+def test_store_version_aaeval4_to_aaeval5_migration(tmp_path, backend):
+    """The fingerprint-keying bump: stale ``aaeval-4`` entries never serve.
+
+    A writable open under the current version clears them wholesale; a
+    read-only open (shard workers) answers clean misses without crashing
+    or clearing entries it does not own.
+    """
+    assert STORE_VERSION == "aaeval-5"
+    path = str(tmp_path / "store.bin")
+    with AnalysisStore(path, version="aaeval-4", backend=backend) as old:
+        old.put("stale-module-hash-key", PAYLOAD)
+    # Read-only first (the worker path): miss cleanly, leave the file alone.
+    with AnalysisStore(path, backend=backend, readonly=True) as reader:
+        assert reader.version == STORE_VERSION
+        assert reader.get("stale-module-hash-key") is None
+    with AnalysisStore(path, version="aaeval-4", backend=backend,
+                       readonly=True) as reader:
+        assert reader.get("stale-module-hash-key") == PAYLOAD
+    # Writable open (the coordinator path): drop and restamp.
+    with AnalysisStore(path, backend=backend) as upgraded:
+        assert upgraded.get("stale-module-hash-key") is None
+        assert len(upgraded) == 0
+        upgraded.put("fingerprint-key", PAYLOAD)
+    with AnalysisStore(path, backend=backend) as reopened:
+        assert reopened.get("fingerprint-key") == PAYLOAD
+
+
 def test_text_hash_is_stable():
     assert text_hash("abc") == text_hash("abc")
     assert text_hash("abc") != text_hash("abd")

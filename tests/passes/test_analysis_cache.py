@@ -143,3 +143,139 @@ def test_invalidate_drops_evaluation_payloads():
     cache.put_evaluation(function, "basicaa", {"codes": "M"})
     cache.invalidate()
     assert cache.evaluation_count() == 0
+
+
+# -- call-graph-scoped invalidation and refresh ------------------------------------
+
+CHAIN = """
+int a(int x) { if (x < 10) { x = x + 1; } return x; }
+int b(int x) { int y = a(x); if (y < 20) { y = y + 2; } return y; }
+int c(int x) { int z = b(x); if (z < 30) { z = z + 3; } return z; }
+int lone(int x) { return x + 7; }
+"""
+
+
+def _compile_chain(source=CHAIN):
+    from repro.frontend import compile_source
+
+    module = compile_source(source, module_name="chain")
+    return module, {f.name: f for f in module.defined_functions()}
+
+
+def test_invalidate_scopes_sibling_payloads_by_reachability():
+    module, functions = _compile_chain()
+    cache = FunctionAnalysisCache()
+    for name in functions:
+        cache.put_evaluation(functions[name], "lt", {"codes": name})
+    cache.invalidate(functions["b"])
+    # b's transitive callers (c) and callees (a) are coupled to the edit...
+    assert cache.get_evaluation(functions["b"], "lt") is None
+    assert cache.get_evaluation(functions["a"], "lt") is None
+    assert cache.get_evaluation(functions["c"], "lt") is None
+    # ...but an unreachable sibling keeps its payload.
+    assert cache.get_evaluation(functions["lone"], "lt") == {"codes": "lone"}
+
+
+def test_drop_one_evaluation_keeps_other_labels():
+    module, functions = _compile_chain()
+    cache = FunctionAnalysisCache()
+    cache.put_evaluation(functions["a"], "lt", {"codes": "N"})
+    cache.put_evaluation(functions["a"], "basicaa", {"codes": "M"})
+    cache._drop_one_evaluation(functions["a"], "lt")
+    assert cache.get_evaluation(functions["a"], "lt") is None
+    assert cache.get_evaluation(functions["a"], "basicaa") == {"codes": "M"}
+    # The per-function index stays consistent: a full drop removes the rest.
+    cache._drop_function_evaluations(functions["a"])
+    assert cache.evaluation_count() == 0
+    assert functions["a"] not in cache._function_evaluations
+
+
+def test_refresh_baseline_reports_everything_dirty():
+    module, functions = _compile_chain()
+    cache = FunctionAnalysisCache()
+    result = cache.refresh(module)
+    assert result.dirty == sorted(functions)
+    assert result.clean == [] and result.removed == [] and result.migrated == 0
+
+
+def test_refresh_migrates_clean_payloads_across_recompiles():
+    module, functions = _compile_chain()
+    cache = FunctionAnalysisCache()
+    cache.refresh(module)
+    for name in functions:
+        cache.put_evaluation(functions[name], "lt", {"codes": name})
+    edited, new_functions = _compile_chain(
+        CHAIN.replace("x = x + 1", "x = x + 5"))
+    result = cache.refresh(edited)
+    assert result.dirty == ["a"]
+    assert sorted(result.clean) == ["b", "c", "lone"]
+    # lt is region-scoped (function + transitive callers); editing the leaf
+    # a leaves the regions of b, c and lone unchanged, so all three migrate.
+    assert result.migrated == 3
+    for name in ("b", "c", "lone"):
+        assert cache.get_evaluation(new_functions[name], "lt") == {"codes": name}
+    assert cache.get_evaluation(new_functions["a"], "lt") is None
+
+
+def test_refresh_region_scope_blocks_caller_edits():
+    # Editing the root c changes the regions of its transitive callees
+    # (facts flow caller -> callee), so their region-scoped payloads must
+    # NOT migrate even though their own IR is unchanged.
+    module, functions = _compile_chain()
+    cache = FunctionAnalysisCache()
+    cache.refresh(module)
+    for name in functions:
+        cache.put_evaluation(functions[name], "lt", {"codes": name})
+    edited, new_functions = _compile_chain(CHAIN.replace("z + 3", "z + 9"))
+    result = cache.refresh(edited)
+    assert result.dirty == ["c"]
+    assert result.migrated == 1  # lone only
+    assert cache.get_evaluation(new_functions["lone"], "lt") == {"codes": "lone"}
+    for name in ("a", "b"):
+        assert cache.get_evaluation(new_functions[name], "lt") is None
+
+
+def test_refresh_module_scope_requires_identical_module():
+    module, functions = _compile_chain()
+    cache = FunctionAnalysisCache()
+    cache.refresh(module)
+    for name in functions:
+        cache.put_evaluation(functions[name], "andersen", {"codes": name})
+    # Byte-identical recompile: module-scoped payloads migrate.
+    same, same_functions = _compile_chain()
+    assert cache.refresh(same).migrated == len(functions)
+    # Any edit: module-scoped payloads die everywhere.
+    edited, new_functions = _compile_chain(
+        CHAIN.replace("x = x + 1", "x = x + 5"))
+    for name in same_functions:
+        cache.put_evaluation(same_functions[name], "andersen", {"codes": name})
+    result = cache.refresh(edited)
+    assert result.migrated == 0
+    for name in new_functions:
+        assert cache.get_evaluation(new_functions[name], "andersen") is None
+
+
+def test_refresh_in_place_drops_only_dirty_state():
+    module, functions = _compile_chain()
+    cache = FunctionAnalysisCache()
+    cache.refresh(module)
+    for name in functions:
+        cache.put_evaluation(functions[name], "lt", {"codes": name})
+    # Refreshing the *same* compile in place: everything clean, payloads
+    # stay on their (current) objects without double-migration.
+    result = cache.refresh(module)
+    assert result.dirty == [] and result.migrated == 0
+    for name in functions:
+        assert cache.get_evaluation(functions[name], "lt") == {"codes": name}
+
+
+def test_refresh_reports_removed_functions():
+    module, functions = _compile_chain()
+    cache = FunctionAnalysisCache()
+    cache.refresh(module)
+    shrunk_source = CHAIN.replace(
+        "int lone(int x) { return x + 7; }", "")
+    shrunk, _ = _compile_chain(shrunk_source)
+    result = cache.refresh(shrunk)
+    assert result.removed == ["lone"]
+    assert result.dirty == []

@@ -1,0 +1,102 @@
+"""Incremental re-solve: ``RangeAnalysis(function, previous=...)``.
+
+A previous analysis of (an edit of) the same function seeds the solver's
+per-component reuse table: every SCC whose member structure and external
+inputs are unchanged copies its solved intervals instead of re-running the
+widen/narrow sweeps.  Reuse must be *bit-identical* to a cold solve — the
+copied intervals are the previous fixpoint of the very same equations.
+"""
+
+from repro.frontend import compile_source
+from repro.rangeanalysis import Interval, RangeAnalysis
+from repro.rangeanalysis.analysis import value_signature
+
+SOURCE = """
+int f(int n) {
+  int i = 0;
+  int total = 0;
+  while (i < n) {
+    total = total + i;
+    i = i + 1;
+  }
+  return total;
+}
+"""
+
+
+def _function(source=SOURCE):
+    module = compile_source(source, module_name="m")
+    return next(iter(module.defined_functions()))
+
+
+def _interval_map(analysis):
+    return {value_signature(value): analysis.range_of(value)
+            for value in analysis.ranges}
+
+
+def test_identical_function_reuses_every_component():
+    previous = RangeAnalysis(_function())
+    fresh = _function()
+    incremental = RangeAnalysis(fresh, previous=previous)
+    assert incremental.statistics.reused_components == \
+        incremental.statistics.components
+    assert incremental.statistics.evaluations == 0
+    assert _interval_map(incremental) == _interval_map(RangeAnalysis(fresh))
+
+
+def test_edited_function_resolves_only_the_frontier():
+    previous = RangeAnalysis(_function())
+    edited = _function(SOURCE.replace("total + i", "total + i + i"))
+    incremental = RangeAnalysis(edited, previous=previous)
+    cold = RangeAnalysis(_function(SOURCE.replace("total + i", "total + i + i")))
+    # Some components differ (the edit's def-use cone) and re-solve...
+    assert incremental.statistics.evaluations > 0
+    # ...but the final intervals are bit-identical to the cold solve.
+    assert _interval_map(incremental) == _interval_map(cold)
+
+
+def test_argument_ranges_disable_reuse():
+    function = _function()
+    previous = RangeAnalysis(function)
+    fresh = _function()
+    argument = fresh.arguments[0]
+    seeded = RangeAnalysis(fresh, argument_ranges={argument: Interval(0, 7)},
+                           previous=previous)
+    # Argument transfers read argument_ranges invisibly to the signatures,
+    # so reuse would be unsound; the solver must fall back to a cold solve.
+    assert seeded.statistics.reused_components == 0
+    other = _function()
+    cold = RangeAnalysis(other,
+                         argument_ranges={other.arguments[0]: Interval(0, 7)})
+    assert _interval_map(seeded) == _interval_map(cold)
+
+
+def test_previous_with_argument_ranges_is_ignored():
+    function = _function()
+    previous = RangeAnalysis(function,
+                             argument_ranges={function.arguments[0]:
+                                              Interval(0, 7)})
+    incremental = RangeAnalysis(_function(), previous=previous)
+    assert incremental.statistics.reused_components == 0
+    assert _interval_map(incremental) == _interval_map(RangeAnalysis(_function()))
+
+
+def test_snapshot_survives_in_place_mutation():
+    """Freezing the table before an IR rewrite keeps the signatures usable."""
+    from repro.essa.transform import convert_to_essa
+
+    mutated = _function()
+    previous = RangeAnalysis(mutated)
+    previous.snapshot()
+    convert_to_essa(mutated, previous)  # rewrites ``mutated`` in place
+    incremental = RangeAnalysis(_function(), previous=previous)
+    assert incremental.statistics.reused_components == \
+        incremental.statistics.components
+    assert _interval_map(incremental) == _interval_map(RangeAnalysis(_function()))
+
+
+def test_reuse_counter_surfaces_in_as_dict():
+    previous = RangeAnalysis(_function())
+    incremental = RangeAnalysis(_function(), previous=previous)
+    assert incremental.statistics.as_dict()["reused_components"] == \
+        incremental.statistics.reused_components > 0
