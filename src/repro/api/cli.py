@@ -59,6 +59,11 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--worklist-order", default=None,
                        choices=("fifo", "scc", "loopdepth"),
                        help="sparse-solver worklist ordering policy")
+    group.add_argument("--interval-kernel", default=None,
+                       choices=("scalar", "batch", "numpy"),
+                       help="interval-kernel backend of the ranked table "
+                            "solver (numpy degrades to batch when numpy is "
+                            "not installed)")
     group.add_argument("--class-limit", type=int, default=None, metavar="N",
                        help="equivalence-class truncation limit (0 = unlimited)")
     group.add_argument("--seed", type=int, default=None, metavar="N",
@@ -79,6 +84,7 @@ def _config_from_arguments(args: argparse.Namespace) -> ReproConfig:
             ("range_solver", "range_solver"),
             ("lt_solver", "lt_solver"),
             ("worklist_order", "worklist_order"),
+            ("interval_kernel", "interval_kernel"),
             ("class_limit", "class_limit"),
             ("synth_seed", "seed"),
             ("trace", "trace")):
@@ -278,6 +284,7 @@ def _print_timings() -> None:
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.api.session import Session
+    from repro.rangeanalysis.interval import Interval
 
     source = _read_source(args.source)
     name = _unit_name(args.source)
@@ -310,13 +317,20 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print("[range analysis]    solver={}".format(session.config.range_solver))
         for key, value in range_totals.items():
             print("  {:24s} {}".format(key, value))
-        print("[solver]            order={}".format(session.config.worklist_order))
+        print("[solver]            order={} kernel={}".format(
+            session.config.worklist_order, session.config.interval_kernel))
         for key, value in report.statistics.solver.as_dict().items():
-            if key == "pops":
-                for order, count in value.items():
-                    print("  {:24s} {}".format("pops[{}]".format(order), count))
+            if isinstance(value, dict):
+                for subkey, count in value.items():
+                    print("  {:24s} {}".format(
+                        "{}[{}]".format(key, subkey), count))
             else:
                 print("  {:24s} {}".format(key, value))
+        intern = Interval.intern_info()
+        print("[interval intern]   capacity={}".format(intern["capacity"]))
+        for key in ("size", "hits", "misses"):
+            print("  {:24s} {}".format(key, intern[key]))
+        print("  {:24s} {:.3f}".format("hit_rate", intern["hit_rate"]))
         print("[disambiguation]    class_limit={}".format(
             session.config.class_limit))
         print("  {:24s} {}".format("queries", report.queries))

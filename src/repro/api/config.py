@@ -42,6 +42,7 @@ field                environment variable     default
 ``range_solver``     ``REPRO_RANGE_SOLVER``   ``"sparse"``
 ``lt_solver``        ``REPRO_LT_SOLVER``      ``"sparse"``
 ``worklist_order``   ``REPRO_WORKLIST_ORDER`` ``"fifo"``
+``interval_kernel``  ``REPRO_INTERVAL_KERNEL`` ``"scalar"``
 ``class_limit``      ``REPRO_CLASS_LIMIT``    ``64`` (``0`` = unlimited)
 ``synth_seed``       ``REPRO_SYNTH_SEED``     ``7``
 ``full_scale``       ``REPRO_FULL``           ``False``
@@ -89,6 +90,10 @@ LT_SOLVERS = ("sparse", "constraint")
 #: ``repro.util.worklist.WORKLIST_ORDERS`` — this module imports nothing
 #: from the rest of the package by design).
 WORKLIST_ORDERS = ("fifo", "scc", "loopdepth")
+#: interval-kernel backends of the ranked table solver (mirrors
+#: ``repro.rangeanalysis.kernels.KERNEL_BACKENDS``; ``numpy`` degrades to
+#: ``batch`` at runtime when numpy is not installed).
+INTERVAL_KERNELS = ("scalar", "batch", "numpy")
 STORE_BACKENDS = ("sqlite", "pickle")
 
 _FALSEY = ("", "0", "false", "no", "off")
@@ -244,6 +249,17 @@ def _resolve_worklist_order(value: object) -> str:
                          False, WORKLIST_ORDERS)
 
 
+def _resolve_interval_kernel(value: object) -> str:
+    if isinstance(value, _Unset):
+        raw = _env("REPRO_INTERVAL_KERNEL")
+        if raw is None:
+            return "scalar"
+        return _parse_choice("interval_kernel", "REPRO_INTERVAL_KERNEL", raw,
+                             True, INTERVAL_KERNELS)
+    return _parse_choice("interval_kernel", "REPRO_INTERVAL_KERNEL", value,
+                         False, INTERVAL_KERNELS)
+
+
 def _resolve_class_limit(value: object) -> int:
     if isinstance(value, _Unset):
         raw = _env("REPRO_CLASS_LIMIT")
@@ -302,6 +318,7 @@ class ReproConfig:
     range_solver: str = UNSET                # type: ignore[assignment]
     lt_solver: str = UNSET                   # type: ignore[assignment]
     worklist_order: str = UNSET              # type: ignore[assignment]
+    interval_kernel: str = UNSET             # type: ignore[assignment]
     class_limit: int = UNSET                 # type: ignore[assignment]
     synth_seed: int = UNSET                  # type: ignore[assignment]
     full_scale: bool = UNSET                 # type: ignore[assignment]
@@ -317,6 +334,8 @@ class ReproConfig:
         resolve(self, "lt_solver", _resolve_lt_solver(self.lt_solver))
         resolve(self, "worklist_order",
                 _resolve_worklist_order(self.worklist_order))
+        resolve(self, "interval_kernel",
+                _resolve_interval_kernel(self.interval_kernel))
         resolve(self, "class_limit", _resolve_class_limit(self.class_limit))
         resolve(self, "synth_seed", _resolve_synth_seed(self.synth_seed))
         resolve(self, "full_scale", _resolve_full_scale(self.full_scale))
@@ -435,6 +454,12 @@ def resolved_worklist_order() -> str:
     config = active_config()
     return (config.worklist_order if config is not None
             else _resolve_worklist_order(UNSET))
+
+
+def resolved_interval_kernel() -> str:
+    config = active_config()
+    return (config.interval_kernel if config is not None
+            else _resolve_interval_kernel(UNSET))
 
 
 def resolved_class_limit() -> Optional[int]:

@@ -447,6 +447,14 @@ class Session:
         the shape benchmarks and the future ``serve`` daemon read p50/p99
         from.
         """
+        from repro.rangeanalysis.interval import Interval
+
+        # Publish the interval intern-cache counters as gauges (idempotent:
+        # they are lifetime totals, so repeated metrics() calls must not
+        # accumulate).
+        registry = TRACER.metrics
+        for key, value in Interval.intern_info().items():
+            registry.set_gauge("interval.intern.{}".format(key), value)
         timeline = TRACER.timeline()
         metrics: Dict[str, object] = {
             "phases": timeline.phase_summary(),

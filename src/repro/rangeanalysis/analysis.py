@@ -56,7 +56,11 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.api.config import resolved_range_solver, resolved_worklist_order
+from repro.api.config import (
+    resolved_interval_kernel,
+    resolved_range_solver,
+    resolved_worklist_order,
+)
 from repro.ir.function import Function
 from repro.ir.instructions import (
     BinaryOp,
@@ -78,19 +82,25 @@ from repro.rangeanalysis.interval import (
     IntervalTable,
     NEG_INF,
     POS_INF,
-    bounds_add,
-    bounds_div,
     bounds_join,
-    bounds_meet,
-    bounds_mul,
     bounds_narrow,
-    bounds_refine_greater_equal,
-    bounds_refine_greater_than,
-    bounds_refine_less_equal,
-    bounds_refine_less_than,
-    bounds_rem,
-    bounds_sub,
     bounds_widen,
+)
+from repro.rangeanalysis.kernels import (
+    BatchedComponentSolver,
+    OP_ADD,
+    OP_CONST,
+    OP_COPY,
+    OP_DIV,
+    OP_MUL,
+    OP_PHI,
+    OP_REM,
+    OP_SIGMA,
+    OP_SUB,
+    REFINE_KERNELS,
+    SCALAR_BINARY_KERNELS,
+    get_backend,
+    validate_kernel,
 )
 from repro.util.worklist import SolverInfo, SweepWorklist, validate_order
 
@@ -175,6 +185,15 @@ class RangeStatistics:
         self.order = "fifo"
         self.pops = 0
         self.coalesced_pushes = 0
+        #: the kernel backend that actually served the ranked table solver
+        #: ("scalar" whenever the batched sweep executor was not in play —
+        #: including under the fifo order, where the knob is a no-op).
+        self.kernel_backend = "scalar"
+        #: full level-synchronous sweeps run by the batched executor, and the
+        #: member evaluations those sweeps performed (a subset of
+        #: ``evaluations``).
+        self.batched_sweeps = 0
+        self.batched_evaluations = 0
         #: components whose previous-solve intervals were copied instead of
         #: solved (incremental re-solve only; always 0 on a fresh solve).
         self.reused_components = 0
@@ -190,8 +209,11 @@ class RangeStatistics:
             widenings=self.widenings,
             narrowings=self.narrowings,
             sccs=self.components,
-            cyclic_sccs=self.cyclic_components)
+            cyclic_sccs=self.cyclic_components,
+            batched_sweeps=self.batched_sweeps,
+            batched_evaluations=self.batched_evaluations)
         info.record_pops(self.order, self.pops)
+        info.record_backend(self.kernel_backend)
         return info
 
     def as_dict(self) -> Dict[str, int]:
@@ -206,6 +228,9 @@ class RangeStatistics:
             "pops": self.pops,
             "coalesced_pushes": self.coalesced_pushes,
             "reused_components": self.reused_components,
+            "kernel_backend": self.kernel_backend,
+            "batched_sweeps": self.batched_sweeps,
+            "batched_evaluations": self.batched_evaluations,
         }
 
     def __repr__(self) -> str:
@@ -235,6 +260,7 @@ class RangeAnalysis:
                  argument_ranges: Optional[Dict[Argument, Interval]] = None,
                  solver: Optional[str] = None,
                  order: Optional[str] = None,
+                 kernel: Optional[str] = None,
                  previous: Optional["RangeAnalysis"] = None) -> None:
         self.function = function
         self.argument_ranges = argument_ranges or {}
@@ -243,8 +269,18 @@ class RangeAnalysis:
         if self.solver not in ("sparse", "dense"):
             raise ValueError("unknown range solver {!r}".format(self.solver))
         self.order = validate_order(order or resolved_worklist_order())
+        self.kernel = validate_kernel(kernel or resolved_interval_kernel())
+        # The kernel backends plug into the ranked table solver; the boxed
+        # fifo replay and the dense reference solver stay scalar (the knob is
+        # a documented no-op there — fixpoints are bit-identical either way).
+        if self.solver == "sparse" and self.order != "fifo":
+            self._kernel_backend = get_backend(self.kernel)
+        else:
+            self._kernel_backend = None
         self.statistics = RangeStatistics()
         self.statistics.order = self.order
+        if self._kernel_backend is not None:
+            self.statistics.kernel_backend = self._kernel_backend.name
         #: a finished analysis of an earlier compile of (an edit of) the same
         #: function: components whose structure and external inputs are
         #: unchanged copy its intervals instead of re-solving (incremental
@@ -529,25 +565,27 @@ class RangeAnalysis:
     # Opcodes of the precompiled transfer functions.  Every member of a
     # cyclic component compiles to one tuple; operands are IntervalTable
     # handles (member slots first, then preloaded external slots), so the
-    # inner loop touches only flat lists and local ints.
-    _OP_CONST = 0    # (op, lower, upper)                fixed interval
-    _OP_ADD = 1      # (op, lhs, rhs)
-    _OP_SUB = 2      # (op, lhs, rhs)
-    _OP_MUL = 3      # (op, lhs, rhs)
-    _OP_DIV = 4      # (op, lhs, rhs)
-    _OP_REM = 5      # (op, lhs, rhs)
-    _OP_PHI = 6      # (op, (incoming, ...))
-    _OP_COPY = 7     # (op, source)
-    _OP_SIGMA = 8    # (op, source, other, refine_kernel)
+    # inner loop touches only flat lists and local ints.  The opcode values
+    # and the scalar kernel tables live in
+    # :mod:`repro.rangeanalysis.kernels.opcodes` (shared with the batched
+    # sweep executor); the class aliases keep the historical spelling.
+    _OP_CONST = OP_CONST    # (op, lower, upper)                fixed interval
+    _OP_ADD = OP_ADD        # (op, lhs, rhs)
+    _OP_SUB = OP_SUB        # (op, lhs, rhs)
+    _OP_MUL = OP_MUL        # (op, lhs, rhs)
+    _OP_DIV = OP_DIV        # (op, lhs, rhs)
+    _OP_REM = OP_REM        # (op, lhs, rhs)
+    _OP_PHI = OP_PHI        # (op, (incoming, ...))
+    _OP_COPY = OP_COPY      # (op, source)
+    _OP_SIGMA = OP_SIGMA    # (op, source, other, refine_kernel)
 
     #: σ-refinement kernels by (already NEGATED/SWAPPED-resolved) predicate.
-    _REFINE_KERNELS = {
-        "slt": bounds_refine_less_than,
-        "sle": bounds_refine_less_equal,
-        "sgt": bounds_refine_greater_than,
-        "sge": bounds_refine_greater_equal,
-        "eq": bounds_meet,
-    }
+    _REFINE_KERNELS = REFINE_KERNELS
+
+    #: binary opcode → scalar bounds kernel, built once at import time (it
+    #: used to be reconstructed inside ``_solve_cyclic_table`` for every
+    #: cyclic component).
+    _TABLE_KERNELS = SCALAR_BINARY_KERNELS
 
     def _compile_component(self, members: List[Value],
                            index_of: Dict[Value, int],
@@ -638,16 +676,19 @@ class RangeAnalysis:
         compiled = self._compile_component(members, index_of, table)
         ranks = component.ranks(self.order, depth_of)
         statistics = self.statistics
+
+        if self._kernel_backend is not None:
+            self._solve_cyclic_batched(component, compiled, ranks, table)
+            return
+
         lo = table.lo
         hi = table.hi
 
-        op_const = self._OP_CONST
-        op_phi = self._OP_PHI
-        op_copy = self._OP_COPY
-        op_sigma = self._OP_SIGMA
-        kernels = {self._OP_ADD: bounds_add, self._OP_SUB: bounds_sub,
-                   self._OP_MUL: bounds_mul, self._OP_DIV: bounds_div,
-                   self._OP_REM: bounds_rem}
+        op_const = OP_CONST
+        op_phi = OP_PHI
+        op_copy = OP_COPY
+        op_sigma = OP_SIGMA
+        kernels = self._TABLE_KERNELS
         evaluations = 0
 
         def evaluate(index: int) -> Tuple:
@@ -726,6 +767,37 @@ class RangeAnalysis:
                 worklist.schedule(sweep, index, users[index])
         self._harvest(worklist)
         finish()
+
+    def _solve_cyclic_batched(self, component: SCCComponent,
+                              compiled: List[tuple], ranks,
+                              table: IntervalTable) -> None:
+        """Hand one compiled component to the batched sweep executor.
+
+        The executor replays the ranked sparse trajectory with
+        level-synchronous batched sweeps (see
+        :class:`~repro.rangeanalysis.kernels.sweep.BatchedComponentSolver`);
+        this wrapper only folds its counters back into the statistics and
+        boxes the fixpoint, exactly like ``finish()`` on the scalar path.
+        """
+        members = component.members
+        solver = BatchedComponentSolver(
+            compiled, component.users, ranks, table, self._kernel_backend,
+            self.RANKED_ITERATIONS_BEFORE_WIDENING,
+            self.MAX_NARROWING_ITERATIONS)
+        solver.solve()
+        statistics = self.statistics
+        statistics.evaluations += solver.evaluations
+        statistics.widenings += solver.widenings
+        statistics.narrowings += solver.narrowings
+        statistics.pops += solver.pops
+        statistics.coalesced_pushes += solver.coalesced
+        statistics.batched_sweeps += solver.batched_sweeps
+        statistics.batched_evaluations += solver.batched_evaluations
+        for index in solver.widened:
+            self.widening_points.add(members[index])
+        load = table.load
+        for index, value in enumerate(members):
+            self.ranges[value] = load(index)
 
     # -- transfer functions -----------------------------------------------------------
     def _operand_range(self, value: Value) -> Interval:

@@ -76,6 +76,11 @@ class Interval:
     #: (intervals are immutable value objects).
     _interned: Dict[Tuple[Extended, Extended], "Interval"] = {}
     _INTERN_CAP = 1 << 16
+    #: lifetime probe counters of :meth:`of` (hit = answered from the cache);
+    #: surfaced through ``MetricsRegistry`` / ``python -m repro stats`` so a
+    #: long-lived session can watch the cache instead of guessing.
+    _intern_hits = 0
+    _intern_misses = 0
 
     def __init__(self, lower: Extended = NEG_INF, upper: Extended = POS_INF,
                  empty: bool = False) -> None:
@@ -99,11 +104,44 @@ class Interval:
         key = (lower, upper)
         cached = cls._interned.get(key)
         if cached is not None:
+            cls._intern_hits += 1
             return cached
+        cls._intern_misses += 1
         interval = cls(lower, upper)
         if len(cls._interned) < cls._INTERN_CAP:
             cls._interned[key] = interval
         return interval
+
+    @classmethod
+    def intern_info(cls) -> Dict[str, Union[int, float]]:
+        """Size, capacity and lifetime hit/miss counters of the intern cache."""
+        hits = cls._intern_hits
+        misses = cls._intern_misses
+        probes = hits + misses
+        return {
+            "size": len(cls._interned),
+            "capacity": cls._INTERN_CAP,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": (hits / probes) if probes else 0.0,
+        }
+
+    @classmethod
+    def clear_interned(cls) -> int:
+        """Drop the cached intervals (long-lived services call this between
+        workloads); returns how many entries were evicted.
+
+        The canonical singletons survive: ``top()`` stays registered so
+        identity-based fast paths keep returning the one ``_TOP`` object,
+        and the probe counters are reset alongside the entries.
+        """
+        evicted = len(cls._interned)
+        cls._interned.clear()
+        cls._interned[(NEG_INF, POS_INF)] = _TOP
+        evicted -= 1
+        cls._intern_hits = 0
+        cls._intern_misses = 0
+        return evicted
 
     @staticmethod
     def top() -> "Interval":

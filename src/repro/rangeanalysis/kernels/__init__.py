@@ -1,0 +1,107 @@
+"""Pluggable interval-kernel backends for the table-based range solver.
+
+The ranked (``scc``/``loopdepth``) solver precompiles every cyclic
+component to opcode tuples over an
+:class:`~repro.rangeanalysis.interval.IntervalTable`; a *kernel backend*
+decides how those opcodes are evaluated.  Three backends are registered
+(the ``REPRO_INTERVAL_KERNEL`` values; :mod:`repro.api.config` validates
+against the same names):
+
+``scalar``
+    The default: the per-member sparse solver in
+    :meth:`RangeAnalysis._solve_cyclic_table`, dispatching one scalar
+    ``bounds_*`` kernel per pop.  :func:`get_backend` returns ``None``.
+``batch``
+    Level-synchronous batched sweeps (:mod:`.sweep`) calling the pure-
+    Python whole-group ``bounds_*_many`` kernels (:mod:`.batch`) — one
+    kernel call per (level, opcode) group, switching adaptively between
+    sparse pops and full batched sweeps as the change frontier saturates.
+``numpy``
+    The same sweep executor calling vectorized int64 kernels
+    (:mod:`.numpy_backend`).  Degrades gracefully to ``batch`` when numpy
+    is not installed — the knob never makes a solve fail.
+
+Every backend produces bit-identical fixpoints (and therefore verdicts)
+under every worklist order; the scalar↔many parity is enforced by
+``tests/rangeanalysis/test_kernel_parity.py`` and the cross-backend solver
+equivalence by ``tests/rangeanalysis/test_kernel_backends.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.rangeanalysis.kernels.batch import BATCH_BACKEND, BatchKernelBackend
+from repro.rangeanalysis.kernels.opcodes import (
+    OP_ADD,
+    OP_CONST,
+    OP_COPY,
+    OP_DIV,
+    OP_MUL,
+    OP_PHI,
+    OP_REM,
+    OP_SIGMA,
+    OP_SUB,
+    REFINE_KERNELS,
+    SCALAR_BINARY_KERNELS,
+)
+from repro.rangeanalysis.kernels.sweep import BatchedComponentSolver
+
+#: the registered kernel backends (the ``REPRO_INTERVAL_KERNEL`` values).
+KERNEL_BACKENDS = ("scalar", "batch", "numpy")
+
+_numpy_backend = None
+_numpy_checked = False
+
+
+def validate_kernel(kernel: str) -> str:
+    """Return ``kernel`` or raise ``ValueError`` naming the accepted backends."""
+    if kernel not in KERNEL_BACKENDS:
+        raise ValueError("unknown interval kernel {!r} (expected one of {})".format(
+            kernel, "/".join(KERNEL_BACKENDS)))
+    return kernel
+
+
+def get_backend(kernel: str):
+    """The backend object for ``kernel``, or ``None`` for ``scalar``.
+
+    ``numpy`` resolves to the vectorized backend when numpy imports, and to
+    the ``batch`` backend otherwise (graceful degradation; check the
+    returned object's ``name`` for what actually serves the sweeps).
+    """
+    validate_kernel(kernel)
+    if kernel == "scalar":
+        return None
+    if kernel == "batch":
+        return BATCH_BACKEND
+    global _numpy_backend, _numpy_checked
+    if not _numpy_checked:
+        _numpy_checked = True
+        try:
+            from repro.rangeanalysis.kernels import numpy_backend
+        except ImportError:
+            _numpy_backend = None
+        else:
+            _numpy_backend = numpy_backend.make_backend()
+    return _numpy_backend if _numpy_backend is not None else BATCH_BACKEND
+
+
+__all__ = [
+    "BATCH_BACKEND",
+    "BatchKernelBackend",
+    "BatchedComponentSolver",
+    "KERNEL_BACKENDS",
+    "OP_ADD",
+    "OP_CONST",
+    "OP_COPY",
+    "OP_DIV",
+    "OP_MUL",
+    "OP_PHI",
+    "OP_REM",
+    "OP_SIGMA",
+    "OP_SUB",
+    "REFINE_KERNELS",
+    "SCALAR_BINARY_KERNELS",
+    "get_backend",
+    "validate_kernel",
+]

@@ -1,0 +1,307 @@
+"""The optional ``numpy`` interval-kernel backend.
+
+Implements the same ``*_many`` signatures as the ``batch`` backend with
+vectorized ``minimum``/``maximum``/``where`` arithmetic over int64 ``lo``/
+``hi`` arrays.  The extended integers of the scalar domain are mapped onto
+int64 *sentinels*:
+
+* ``-inf`` → ``NEG_SENT`` (``-2**62``), ``+inf`` → ``POS_SENT`` (``2**62``);
+* finite bounds must fit ``|v| <= SAFE_MAGNITUDE`` (``2**61 - 1``) so that
+  no sum of two encoded operands can collide with a sentinel or overflow
+  int64 (products are checked against the tighter ``SAFE_PRODUCT``);
+* the canonical empty pair ``(POS_INF, NEG_INF)`` encodes to
+  ``(POS_SENT, NEG_SENT)``, keeping ``lo > hi`` as the emptiness test.
+
+Any group whose operands fall outside the encodable range (astronomical
+constants, degenerate all-infinite intervals) makes the kernel fall back to
+the bit-identical ``batch`` twin *for that one call* — correctness never
+depends on the encoding.  ``div``/``rem`` delegate to ``batch`` outright:
+they are rare, branchy, and not worth a vector path.
+
+This module imports numpy at module scope; the backend registry
+(:func:`repro.rangeanalysis.kernels.get_backend`) catches the
+``ImportError`` and degrades the ``numpy`` knob value to ``batch`` when the
+library is absent.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.rangeanalysis.interval import NEG_INF, POS_INF
+from repro.rangeanalysis.kernels import batch as _batch
+from repro.rangeanalysis.kernels.opcodes import (
+    OP_ADD,
+    OP_DIV,
+    OP_MUL,
+    OP_REM,
+    OP_SUB,
+)
+
+NEG_SENT = -(2 ** 62)
+POS_SENT = 2 ** 62
+#: largest finite magnitude encodable such that any *sum* of two encoded
+#: bounds stays strictly inside the sentinels.
+SAFE_MAGNITUDE = 2 ** 61 - 1
+#: largest finite magnitude whose pairwise *products* stay strictly inside
+#: the sentinels.
+SAFE_PRODUCT = 2 ** 30
+
+
+class _Unsafe(Exception):
+    """Raised during encoding when a bound cannot be represented; the
+    caller falls back to the ``batch`` twin for the whole group call."""
+
+
+def _encode_pair(lo: List, hi: List, handles: Sequence[int],
+                 limit: int) -> Tuple["np.ndarray", "np.ndarray"]:
+    """Gather ``(lo, hi)`` for ``handles`` into sentinel-encoded int64 arrays.
+
+    Raises :class:`_Unsafe` for finite bounds beyond ``limit`` and for the
+    degenerate all-infinite intervals ``[-inf, -inf]`` / ``[+inf, +inf]``
+    (which would be indistinguishable from sentinel collisions downstream).
+    """
+    n = len(handles)
+    elo = np.empty(n, dtype=np.int64)
+    ehi = np.empty(n, dtype=np.int64)
+    neg = NEG_INF
+    pos = POS_INF
+    neg_limit = -limit
+    for i in range(n):
+        h = handles[i]
+        a = lo[h]
+        b = hi[h]
+        if a == neg:
+            ea = NEG_SENT
+        elif a == pos:
+            ea = POS_SENT
+        elif neg_limit <= a <= limit:
+            ea = a
+        else:
+            raise _Unsafe
+        if b == neg:
+            eb = NEG_SENT
+        elif b == pos:
+            eb = POS_SENT
+        elif neg_limit <= b <= limit:
+            eb = b
+        else:
+            raise _Unsafe
+        if ea == eb and (ea == NEG_SENT or ea == POS_SENT):
+            raise _Unsafe
+        elo[i] = ea
+        ehi[i] = eb
+    return elo, ehi
+
+
+def _decode(rlo: "np.ndarray", rhi: "np.ndarray",
+            out_lo: List, out_hi: List) -> None:
+    """Scatter sentinel-encoded results back into the output buffers."""
+    values_lo = rlo.tolist()
+    values_hi = rhi.tolist()
+    for i in range(len(values_lo)):
+        v = values_lo[i]
+        out_lo[i] = NEG_INF if v == NEG_SENT else (POS_INF if v == POS_SENT else v)
+        w = values_hi[i]
+        out_hi[i] = NEG_INF if w == NEG_SENT else (POS_INF if w == POS_SENT else w)
+
+
+def _seal(rlo: "np.ndarray", rhi: "np.ndarray",
+          empty: "np.ndarray") -> Tuple["np.ndarray", "np.ndarray"]:
+    """Force ``empty`` lanes to the canonical bottom encoding."""
+    return (np.where(empty, POS_SENT, rlo), np.where(empty, NEG_SENT, rhi))
+
+
+def _signed_inf_mul(x: "np.ndarray", y: "np.ndarray") -> "np.ndarray":
+    """Vector mirror of ``_mul``: ``0 * inf = 0``, signed-infinity products."""
+    zero = (x == 0) | (y == 0)
+    infinite = (np.abs(x) == POS_SENT) | (np.abs(y) == POS_SENT)
+    finite_product = np.where(infinite, 0, x) * np.where(infinite, 0, y)
+    signed = np.where((x > 0) == (y > 0), POS_SENT, NEG_SENT)
+    return np.where(zero, 0, np.where(infinite, signed, finite_product))
+
+
+class NumpyKernelBackend:
+    """Vectorized ``*_many`` kernels with per-call fallback to ``batch``.
+
+    ``fallbacks`` counts the group calls that were served by the ``batch``
+    twin because an operand fell outside the encodable int64 range.
+    """
+
+    name = "numpy"
+
+    def __init__(self) -> None:
+        self.fallbacks = 0
+
+    # -- backend protocol (mirrors BatchKernelBackend) -------------------------
+    def binary_many(self, op: int) -> Callable:
+        if op == OP_ADD:
+            return self._add_many
+        if op == OP_SUB:
+            return self._sub_many
+        if op == OP_MUL:
+            return self._mul_many
+        # div/rem: rare, branchy, constant-divisor-special-cased — the batch
+        # twin is both simpler and faster than a masked vector path.
+        return _batch.BINARY_MANY_KERNELS[op]
+
+    def copy_many(self) -> Callable:
+        # A copy is pure list indexing; encoding would only add work.
+        return _batch.bounds_copy_many
+
+    def join_many(self) -> Callable:
+        return self._join_many
+
+    def refine_many(self, kernel: Callable) -> Callable:
+        return self._refine_many_kernels[kernel]
+
+    # -- vectorized kernels -----------------------------------------------------
+    def _add_many(self, lo, hi, lhs, rhs, out_lo, out_hi):
+        try:
+            alo, ahi = _encode_pair(lo, hi, lhs, SAFE_MAGNITUDE)
+            blo, bhi = _encode_pair(lo, hi, rhs, SAFE_MAGNITUDE)
+        except _Unsafe:
+            self.fallbacks += 1
+            _batch.bounds_add_many(lo, hi, lhs, rhs, out_lo, out_hi)
+            return
+        empty = (alo > ahi) | (blo > bhi)
+        lo_inf = (alo == NEG_SENT) | (blo == NEG_SENT)
+        hi_inf = (ahi == POS_SENT) | (bhi == POS_SENT)
+        lo_mask = lo_inf | empty
+        rlo = np.where(lo_mask, 0, alo) + np.where(lo_mask, 0, blo)
+        rlo = np.where(lo_inf, NEG_SENT, rlo)
+        hi_mask = hi_inf | empty
+        rhi = np.where(hi_mask, 0, ahi) + np.where(hi_mask, 0, bhi)
+        rhi = np.where(hi_inf, POS_SENT, rhi)
+        _decode(*_seal(rlo, rhi, empty), out_lo, out_hi)
+
+    def _sub_many(self, lo, hi, lhs, rhs, out_lo, out_hi):
+        try:
+            alo, ahi = _encode_pair(lo, hi, lhs, SAFE_MAGNITUDE)
+            blo, bhi = _encode_pair(lo, hi, rhs, SAFE_MAGNITUDE)
+        except _Unsafe:
+            self.fallbacks += 1
+            _batch.bounds_sub_many(lo, hi, lhs, rhs, out_lo, out_hi)
+            return
+        empty = (alo > ahi) | (blo > bhi)
+        lo_inf = (alo == NEG_SENT) | (bhi == POS_SENT)
+        hi_inf = (ahi == POS_SENT) | (blo == NEG_SENT)
+        lo_mask = lo_inf | empty
+        rlo = np.where(lo_mask, 0, alo) - np.where(lo_mask, 0, bhi)
+        rlo = np.where(lo_inf, NEG_SENT, rlo)
+        hi_mask = hi_inf | empty
+        rhi = np.where(hi_mask, 0, ahi) - np.where(hi_mask, 0, blo)
+        rhi = np.where(hi_inf, POS_SENT, rhi)
+        _decode(*_seal(rlo, rhi, empty), out_lo, out_hi)
+
+    def _mul_many(self, lo, hi, lhs, rhs, out_lo, out_hi):
+        try:
+            alo, ahi = _encode_pair(lo, hi, lhs, SAFE_PRODUCT)
+            blo, bhi = _encode_pair(lo, hi, rhs, SAFE_PRODUCT)
+        except _Unsafe:
+            self.fallbacks += 1
+            _batch.bounds_mul_many(lo, hi, lhs, rhs, out_lo, out_hi)
+            return
+        empty = (alo > ahi) | (blo > bhi)
+        p1 = _signed_inf_mul(alo, blo)
+        p2 = _signed_inf_mul(alo, bhi)
+        p3 = _signed_inf_mul(ahi, blo)
+        p4 = _signed_inf_mul(ahi, bhi)
+        rlo = np.minimum(np.minimum(p1, p2), np.minimum(p3, p4))
+        rhi = np.maximum(np.maximum(p1, p2), np.maximum(p3, p4))
+        _decode(*_seal(rlo, rhi, empty), out_lo, out_hi)
+
+    def _join_many(self, lo, hi, columns, out_lo, out_hi):
+        try:
+            rlo, rhi = _encode_pair(lo, hi, columns[0], SAFE_MAGNITUDE)
+            for column in columns[1:]:
+                clo, chi = _encode_pair(lo, hi, column, SAFE_MAGNITUDE)
+                # With the canonical bottom encoded (POS_SENT, NEG_SENT),
+                # elementwise min/max is exactly bounds_join: an empty operand
+                # never tightens either bound.
+                rlo = np.minimum(rlo, clo)
+                rhi = np.maximum(rhi, chi)
+        except _Unsafe:
+            self.fallbacks += 1
+            _batch.bounds_join_many(lo, hi, columns, out_lo, out_hi)
+            return
+        _decode(rlo, rhi, out_lo, out_hi)
+
+    def _make_refine(self, scalar_twin: Callable, batch_twin: Callable,
+                     refine: Callable) -> Callable:
+        """Wrap a vector refinement body with encode/fallback/seal plumbing."""
+        def many(lo, hi, src, other, out_lo, out_hi):
+            try:
+                alo, ahi = _encode_pair(lo, hi, src, SAFE_MAGNITUDE)
+                blo, bhi = _encode_pair(lo, hi, other, SAFE_MAGNITUDE)
+            except _Unsafe:
+                self.fallbacks += 1
+                batch_twin(lo, hi, src, other, out_lo, out_hi)
+                return
+            empty = (alo > ahi) | (blo > bhi)
+            rlo, rhi = refine(alo, ahi, blo, bhi)
+            _decode(*_seal(rlo, rhi, empty | (rlo > rhi)), out_lo, out_hi)
+        many.__name__ = scalar_twin.__name__ + "_numpy"
+        return many
+
+    # -- vector refinement bodies (meet against the derived comparison bound) --
+    @staticmethod
+    def _refine_less_than(alo, ahi, blo, bhi):
+        bound = np.where(bhi == POS_SENT, bhi, bhi - 1)
+        return alo, np.minimum(ahi, bound)
+
+    @staticmethod
+    def _refine_less_equal(alo, ahi, blo, bhi):
+        return alo, np.minimum(ahi, bhi)
+
+    @staticmethod
+    def _refine_greater_than(alo, ahi, blo, bhi):
+        bound = np.where(blo == NEG_SENT, blo, blo + 1)
+        return np.maximum(alo, bound), ahi
+
+    @staticmethod
+    def _refine_greater_equal(alo, ahi, blo, bhi):
+        return np.maximum(alo, blo), ahi
+
+    @staticmethod
+    def _meet(alo, ahi, blo, bhi):
+        return np.maximum(alo, blo), np.minimum(ahi, bhi)
+
+
+def _install_refine_kernels(backend: NumpyKernelBackend) -> None:
+    from repro.rangeanalysis.interval import (
+        bounds_meet,
+        bounds_refine_greater_equal,
+        bounds_refine_greater_than,
+        bounds_refine_less_equal,
+        bounds_refine_less_than,
+    )
+    backend._refine_many_kernels = {
+        bounds_refine_less_than: backend._make_refine(
+            bounds_refine_less_than,
+            _batch.bounds_refine_less_than_many,
+            backend._refine_less_than),
+        bounds_refine_less_equal: backend._make_refine(
+            bounds_refine_less_equal,
+            _batch.bounds_refine_less_equal_many,
+            backend._refine_less_equal),
+        bounds_refine_greater_than: backend._make_refine(
+            bounds_refine_greater_than,
+            _batch.bounds_refine_greater_than_many,
+            backend._refine_greater_than),
+        bounds_refine_greater_equal: backend._make_refine(
+            bounds_refine_greater_equal,
+            _batch.bounds_refine_greater_equal_many,
+            backend._refine_greater_equal),
+        bounds_meet: backend._make_refine(
+            bounds_meet, _batch.bounds_meet_many, backend._meet),
+    }
+
+
+def make_backend() -> NumpyKernelBackend:
+    """A fresh ``numpy`` backend instance with its refine-kernel table bound."""
+    backend = NumpyKernelBackend()
+    _install_refine_kernels(backend)
+    return backend

@@ -1,0 +1,61 @@
+"""Opcodes and scalar kernel tables shared by the interval-kernel backends.
+
+The range analysis precompiles every member of a cyclic dependence
+component to one opcode tuple (see
+:meth:`repro.rangeanalysis.analysis.RangeAnalysis._compile_component`);
+the constants below name the tuple tags.  They live here — below both the
+solver and the backends — so that the batched sweep executor
+(:mod:`repro.rangeanalysis.kernels.sweep`) and the backend registry can
+share them with :class:`~repro.rangeanalysis.analysis.RangeAnalysis`
+without import cycles.
+
+``SCALAR_BINARY_KERNELS`` and ``REFINE_KERNELS`` are the canonical
+opcode → scalar-kernel tables.  They are built once at import time (the
+per-component dict reconstruction an earlier revision paid on every cyclic
+component is gone) and every backend's ``*_many`` kernels are defined as
+the array mirrors of exactly these functions.
+"""
+
+from __future__ import annotations
+
+from repro.rangeanalysis.interval import (
+    bounds_add,
+    bounds_div,
+    bounds_meet,
+    bounds_mul,
+    bounds_refine_greater_equal,
+    bounds_refine_greater_than,
+    bounds_refine_less_equal,
+    bounds_refine_less_than,
+    bounds_rem,
+    bounds_sub,
+)
+
+#: opcode tags of the precompiled transfer-function tuples.
+OP_CONST = 0    # (op, lower, upper)                fixed interval
+OP_ADD = 1      # (op, lhs, rhs)
+OP_SUB = 2      # (op, lhs, rhs)
+OP_MUL = 3      # (op, lhs, rhs)
+OP_DIV = 4      # (op, lhs, rhs)
+OP_REM = 5      # (op, lhs, rhs)
+OP_PHI = 6      # (op, (incoming, ...))
+OP_COPY = 7     # (op, source)
+OP_SIGMA = 8    # (op, source, other, refine_kernel)
+
+#: binary opcode → scalar bounds kernel (built once, shared by every solve).
+SCALAR_BINARY_KERNELS = {
+    OP_ADD: bounds_add,
+    OP_SUB: bounds_sub,
+    OP_MUL: bounds_mul,
+    OP_DIV: bounds_div,
+    OP_REM: bounds_rem,
+}
+
+#: σ-refinement kernels by (already NEGATED/SWAPPED-resolved) predicate.
+REFINE_KERNELS = {
+    "slt": bounds_refine_less_than,
+    "sle": bounds_refine_less_equal,
+    "sgt": bounds_refine_greater_than,
+    "sge": bounds_refine_greater_equal,
+    "eq": bounds_meet,
+}

@@ -1,0 +1,654 @@
+"""Level-synchronous batched sweep executor for cyclic components.
+
+This is the engine behind the ``batch``/``numpy`` interval-kernel backends:
+it solves one cyclic dependence component on an
+:class:`~repro.rangeanalysis.interval.IntervalTable` with the same three
+phases, the same sweep budgets, and — by construction — the same per-sweep
+state trajectory as the ranked sparse solver
+(:meth:`RangeAnalysis._solve_cyclic_table` with the ``scalar`` backend), so
+the fixpoints are bit-identical.  What changes is *how a sweep is executed*:
+
+**Levels.**  Under a ranked policy the sparse solver pops members in rank
+order within a sweep; a member therefore reads *current-sweep* values of its
+lower-ranked (rank-forward) operands and *previous-sweep* values of its
+higher-ranked (back-edge) operands.  At compile time the executor stratifies
+the members into *levels* along rank-forward edges::
+
+    level(v) = 1 + max(level(u) | u operand of v, rank(u) < rank(v))
+
+Processing levels in ascending order, evaluating every member of a level
+against the table as left by the levels before it, and committing a level's
+writes only after the whole level has been evaluated reproduces exactly the
+operand values the ranked Gauss–Seidel sweep reads — members of one level
+never feed each other forward, and the level-wide commit keeps same-level
+back-edges reading previous-sweep state just as the heap order does.  The
+one case the level order cannot express directly is a back-edge whose
+*source* sits at a lower level than its user (``rank(u) > rank(v)`` but
+``level(u) < level(v)``): the heap serves ``v`` before ``u``, so ``v`` must
+read ``u``'s previous-sweep value, yet the level schedule commits ``u``
+first.  Those operands are routed through *shadow slots* — extra table
+handles refreshed to the pre-sweep value at the start of every batched
+sweep — so every read matches the ranked heap's read, unconditionally.
+
+**Groups.**  Within a level, compiled opcodes are grouped by opcode shape at
+compile time — ``(level, opcode)`` for binary ops, ``(level, arity)`` for
+φs, ``(level, refine-kernel)`` for σs — with their operand handles laid out
+in parallel arrays.  A sweep then evaluates each group with *one* backend
+kernel call (``bounds_add_many`` and friends) into preallocated output
+buffers instead of dispatching per member.
+
+**Adaptive batching.**  A full batched sweep evaluates every member, which
+is wasted work when only a handful are pending; a sparse sweep pays per-pop
+heap and dispatch overhead, which is wasted when nearly everything changed.
+The executor decides per sweep — the MPRGP-style "how much to release per
+round" choice: when the pending frontier reaches ``SATURATION`` of the
+component it runs a full batched sweep, otherwise a per-member sparse sweep
+that scans rank positions with precompiled kernel-bound opcodes.  Both produce identical post-sweep states: a full
+sweep's extra evaluations are members whose operands did not change, and
+re-evaluating those is a provable no-op for assignment (same value), for
+widening (``widen(c, e) == c`` when ``e`` was already absorbed) and for
+narrowing (every member is narrow-evaluated in the phase's seed sweep, after
+which an unchanged-operand re-evaluation is stable).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.rangeanalysis.interval import NEG_INF, POS_INF
+from repro.rangeanalysis.kernels.opcodes import (
+    OP_CONST,
+    OP_COPY,
+    OP_PHI,
+    OP_SIGMA,
+    SCALAR_BINARY_KERNELS,
+)
+
+#: sweep transfer modes (phase 1a / phase 1b / phase 2).
+_ASSIGN = 0
+_WIDEN = 1
+_NARROW = 2
+
+
+class _Group:
+    """One (level, opcode-shape) batch: parallel member/operand arrays plus
+    preallocated output buffers and the resolved backend kernel call."""
+
+    __slots__ = ("indices", "call", "out_lo", "out_hi")
+
+    def __init__(self, indices: List[int], call: Optional[Callable],
+                 out_lo: List, out_hi: List) -> None:
+        self.indices = indices
+        self.call = call
+        self.out_lo = out_lo
+        self.out_hi = out_hi
+
+
+def _build_levels(compiled: Sequence[tuple], users: Sequence[Sequence[int]],
+                  ranks: Sequence, order: Sequence[int]) -> List[int]:
+    """Stratify members along rank-forward dependence edges.
+
+    Members are processed in rank order (``order`` is the member indices
+    sorted by rank), so every rank-forward predecessor's level is final
+    before its dependents read it; back-edges (towards equal or lower ranks)
+    do not constrain levels — they are previous-sweep reads.
+    """
+    count = len(compiled)
+    levels = [0] * count
+    for index in order:
+        base = levels[index]
+        rank = ranks[index]
+        for user in users[index]:
+            if ranks[user] > rank and levels[user] <= base:
+                levels[user] = base + 1
+    return levels
+
+
+def _shadow_slots(compiled: Sequence[tuple], users: Sequence[Sequence[int]],
+                  ranks: Sequence, levels: List[int],
+                  table) -> List[Tuple[int, int]]:
+    """Allocate shadow slots for back-edge operands committed too early.
+
+    Returns ``(source, shadow)`` handle pairs, source-ordered, for every
+    member ``u`` that has a back-edge user at a *higher* level — the one
+    read pattern the level-synchronous commit order would otherwise serve
+    with a current-sweep value where the ranked heap serves the
+    previous-sweep one.
+    """
+    pairs: List[Tuple[int, int]] = []
+    seen = set()
+    for source in range(len(compiled)):
+        if source in seen:
+            continue
+        rank = ranks[source]
+        level = levels[source]
+        for user in users[source]:
+            if ranks[user] < rank and levels[user] > level:
+                seen.add(source)
+                pairs.append((source, table.alloc()))
+                break
+    return pairs
+
+
+#: solo-step opcode shapes (single-member levels evaluate inline — see
+#: :func:`_compile_steps`).
+_SOLO_CONST = 0
+_SOLO_KERNEL = 1  # binary ops and σs alike: (marker, a, b, kernel)
+_SOLO_COPY = 2
+_SOLO_PHI = 3
+
+
+def _solo_code(code: tuple, index: int, shadow_of) -> tuple:
+    """The shadow-remapped, kernel-bound form of one member's opcode."""
+    op = code[0]
+    if op == OP_CONST:
+        return (_SOLO_CONST, code[1], code[2])
+    if op == OP_PHI:
+        return (_SOLO_PHI,
+                tuple(shadow_of(index, operand) for operand in code[1]))
+    if op == OP_COPY:
+        return (_SOLO_COPY, shadow_of(index, code[1]))
+    if op == OP_SIGMA:
+        return (_SOLO_KERNEL, shadow_of(index, code[1]),
+                shadow_of(index, code[2]), code[3])
+    return (_SOLO_KERNEL, shadow_of(index, code[1]),
+            shadow_of(index, code[2]), SCALAR_BINARY_KERNELS[op])
+
+
+def _compile_steps(compiled: Sequence[tuple], levels: List[int],
+                   order: Sequence[int], backend,
+                   shadow_of, inline: Optional[List[tuple]]) -> List[tuple]:
+    """Compile the full-sweep program: one step per level, levels ascending.
+
+    A level with a single member becomes a *solo step* ``(None, index,
+    solo_code)``: the sweep evaluates it inline with the scalar kernel and
+    commits immediately — batching a one-member group would only pay closure
+    and buffer overhead, and with no level-mates an immediate commit cannot
+    be observed early (same-level reads don't exist, and lower-level
+    back-edge readers of this member go through its shadow slot).  This is
+    what keeps deep dependence *chains* — worst case for grouping, one
+    member per level — faster than the ranked heap: the sweep degenerates to
+    a straight rank-ordered loop with no heap traffic at all.
+
+    A level with several members becomes ``(groups, 0, None)`` where
+    ``groups`` batches the level's opcodes by shape — ``(opcode)`` for
+    binary ops, ``(arity)`` for φs, ``(refine-kernel)`` for σs — with
+    operand handles in parallel arrays, evaluated by one backend ``*_many``
+    call per group and committed only after the whole level.  Group and
+    member order follow member rank — all deterministic, so sweep
+    trajectories are reproducible.  ``shadow_of(user, operand)`` redirects
+    hazardous back-edge operand handles to their shadow slots (see
+    :func:`_shadow_slots`).
+    """
+    by_level: List[List[int]] = [[] for _ in range(max(levels) + 1 if levels else 1)]
+    for index in order:
+        by_level[levels[index]].append(index)
+
+    steps: List[tuple] = []
+    for members in by_level:
+        if not members:
+            continue
+        if len(members) == 1:
+            index = members[0]
+            # With no shadow slots in play the remapped solo code is the
+            # member's inline code verbatim — share the tuple.
+            code = (inline[index] if inline is not None
+                    else _solo_code(compiled[index], index, shadow_of))
+            steps.append((None, index, code))
+            continue
+        buckets = {}
+        sequence: List[tuple] = []
+        for index in members:
+            code = compiled[index]
+            op = code[0]
+            if op == OP_CONST:
+                key = ("const",)
+            elif op == OP_PHI:
+                key = ("phi", len(code[1]))
+            elif op == OP_COPY:
+                key = ("copy",)
+            elif op == OP_SIGMA:
+                key = ("sigma", code[3])
+            else:
+                key = ("bin", op)
+            bucket = buckets.get(key)
+            if bucket is None:
+                bucket = buckets[key] = []
+                sequence.append(key)
+            bucket.append(index)
+
+        groups: List[_Group] = []
+        for key in sequence:
+            indices = buckets[key]
+            n = len(indices)
+            out_lo: List = [0] * n
+            out_hi: List = [0] * n
+            kind = key[0]
+            if kind == "const":
+                # Constant transfers never change: their "evaluation" is the
+                # prebuilt output buffer itself.
+                for i, index in enumerate(indices):
+                    out_lo[i] = compiled[index][1]
+                    out_hi[i] = compiled[index][2]
+                call = None
+            elif kind == "bin":
+                kernel = backend.binary_many(key[1])
+                lhs = [shadow_of(index, compiled[index][1])
+                       for index in indices]
+                rhs = [shadow_of(index, compiled[index][2])
+                       for index in indices]
+
+                def call(lo, hi, _k=kernel, _a=lhs, _b=rhs,
+                         _ol=out_lo, _oh=out_hi):
+                    _k(lo, hi, _a, _b, _ol, _oh)
+            elif kind == "phi":
+                kernel = backend.join_many()
+                arity = key[1]
+                columns = tuple(
+                    [shadow_of(index, compiled[index][1][position])
+                     for index in indices]
+                    for position in range(arity))
+
+                def call(lo, hi, _k=kernel, _c=columns, _ol=out_lo,
+                         _oh=out_hi):
+                    _k(lo, hi, _c, _ol, _oh)
+            elif kind == "copy":
+                kernel = backend.copy_many()
+                src = [shadow_of(index, compiled[index][1])
+                       for index in indices]
+
+                def call(lo, hi, _k=kernel, _s=src, _ol=out_lo, _oh=out_hi):
+                    _k(lo, hi, _s, _ol, _oh)
+            else:  # sigma
+                kernel = backend.refine_many(key[1])
+                src = [shadow_of(index, compiled[index][1])
+                       for index in indices]
+                other = [shadow_of(index, compiled[index][2])
+                         for index in indices]
+
+                def call(lo, hi, _k=kernel, _s=src, _o=other,
+                         _ol=out_lo, _oh=out_hi):
+                    _k(lo, hi, _s, _o, _ol, _oh)
+            groups.append(_Group(indices, call, out_lo, out_hi))
+        steps.append((groups, 0, None))
+    return steps
+
+
+class BatchedComponentSolver:
+    """Solve one precompiled cyclic component with batched sweeps.
+
+    Inputs are exactly what the scalar table solver works from: the
+    ``compiled`` opcode tuples, the intra-component ``users`` lists, the
+    policy ``ranks``, and the :class:`IntervalTable` holding member slots
+    ``0..count-1`` plus preloaded external operand slots.  After
+    :meth:`solve` the member slots hold the same fixpoint the scalar solver
+    would have written, and the counters mirror its accounting
+    (``evaluations``/``widenings``/``narrowings``/``pops``/``coalesced``)
+    plus the batch-specific ``batched_sweeps``/``batched_evaluations``.
+    """
+
+    #: pending-frontier fraction at which a sweep switches from sparse pops
+    #: to one full batched level sweep.
+    SATURATION = 0.5
+
+    __slots__ = ("_inline", "_users", "_ranks", "_lo", "_hi", "_count",
+                 "_before_widening", "_max_narrowing", "_steps",
+                 "_shadow_pairs", "_order", "_positions", "_active",
+                 "evaluations", "widenings", "narrowings",
+                 "pops", "coalesced", "batched_sweeps",
+                 "batched_evaluations", "widened")
+
+    def __init__(self, compiled: Sequence[tuple],
+                 users: Sequence[Sequence[int]], ranks: Sequence,
+                 table, backend, before_widening: int,
+                 max_narrowing: int) -> None:
+        self._users = users
+        self._ranks = ranks
+        self._lo = table.lo
+        self._hi = table.hi
+        self._count = len(compiled)
+        self._before_widening = before_widening
+        self._max_narrowing = max_narrowing
+        order = sorted(range(len(compiled)), key=lambda index: ranks[index])
+        levels = _build_levels(compiled, users, ranks, order)
+        self._shadow_pairs = _shadow_slots(compiled, users, ranks, levels,
+                                           table)
+        shadows = dict(self._shadow_pairs)
+        count = self._count
+
+        if shadows:
+            def shadow_of(user: int, operand: int) -> int:
+                # Redirect a member operand to its shadow slot when the
+                # ranked heap would serve the previous-sweep value
+                # (back-edge) but the level order would commit the operand
+                # first.
+                if (operand < count and ranks[operand] > ranks[user]
+                        and levels[operand] < levels[user]):
+                    return shadows[operand]
+                return operand
+        else:
+            def shadow_of(user: int, operand: int) -> int:
+                return operand
+
+        #: kernel-bound, *unshadowed* solo form of every member's opcode:
+        #: sparse sweeps evaluate in rank order with immediate commits, so
+        #: every read wants the live slot, never a shadow.
+        identity = lambda _user, operand: operand
+        self._inline = [_solo_code(compiled[index], index, identity)
+                        for index in range(count)]
+        self._steps = _compile_steps(compiled, levels, order, backend,
+                                     shadow_of,
+                                     None if shadows else self._inline)
+        #: rank position -> member, member -> rank position: a sweep visits
+        #: members in ascending rank, so sparse sweeps scan positions
+        #: instead of paying heap traffic per pop.
+        self._order = order
+        positions = [0] * count
+        for position, index in enumerate(order):
+            positions[index] = position
+        self._positions = positions
+        self._active = bytearray(count)
+        self.evaluations = 0
+        self.widenings = 0
+        self.narrowings = 0
+        self.pops = 0
+        self.coalesced = 0
+        self.batched_sweeps = 0
+        self.batched_evaluations = 0
+        #: member indices where widening actually fired.
+        self.widened: List[int] = []
+
+    # -- driver ------------------------------------------------------------------
+    def solve(self) -> None:
+        count = self._count
+        pending = list(range(count))
+        # Phase 1a: bounded chaotic iteration.
+        sweeps = 0
+        while pending and sweeps < self._before_widening:
+            pending = self._sweep(pending, _ASSIGN)
+            sweeps += 1
+        if not pending:
+            # Mirrors the scalar solver's early return: the component
+            # stabilised without widening, so narrowing has nothing to do.
+            return
+        # Phase 1b: widening until the change frontier drains.
+        while pending:
+            pending = self._sweep(pending, _WIDEN)
+        # Phase 2: narrowing; every member re-enters once.
+        pending = list(range(count))
+        sweeps = 0
+        while pending and sweeps < self._max_narrowing:
+            pending = self._sweep(pending, _NARROW)
+            sweeps += 1
+
+    def _sweep(self, pending: List[int], mode: int) -> List[int]:
+        if len(pending) * 2 >= self._count:
+            return self._batched_sweep(mode)
+        return self._sparse_sweep(pending, mode)
+
+    # -- one full batched sweep --------------------------------------------------
+    def _batched_sweep(self, mode: int) -> List[int]:
+        lo = self._lo
+        hi = self._hi
+        neg = NEG_INF
+        pos = POS_INF
+        widen = mode == _WIDEN
+        narrow = mode == _NARROW
+        solo_const = _SOLO_CONST
+        solo_kernel = _SOLO_KERNEL
+        solo_copy = _SOLO_COPY
+        changed: List[int] = []
+        changed_append = changed.append
+        for source, shadow in self._shadow_pairs:
+            lo[shadow] = lo[source]
+            hi[shadow] = hi[source]
+        for groups, index, code in self._steps:
+            if groups is None:
+                # Solo step: a single-member level — evaluate inline and
+                # commit immediately (no level-mates can observe the write
+                # early; hazardous lower-level readers use the shadow slot).
+                op = code[0]
+                if op == solo_kernel:
+                    a = code[1]
+                    b = code[2]
+                    new_lo, new_hi = code[3](lo[a], hi[a], lo[b], hi[b])
+                elif op == solo_copy:
+                    source = code[1]
+                    new_lo = lo[source]
+                    new_hi = hi[source]
+                elif op == solo_const:
+                    new_lo = code[1]
+                    new_hi = code[2]
+                else:  # phi
+                    new_lo, new_hi = pos, neg
+                    for operand in code[1]:
+                        blo = lo[operand]
+                        bhi = hi[operand]
+                        if new_lo > new_hi:
+                            new_lo = blo
+                            new_hi = bhi
+                        elif blo > bhi:
+                            continue
+                        else:
+                            if blo < new_lo:
+                                new_lo = blo
+                            if bhi > new_hi:
+                                new_hi = bhi
+                cur_lo = lo[index]
+                cur_hi = hi[index]
+                if widen:
+                    # Inline bounds_widen(cur, new).
+                    if cur_lo > cur_hi:
+                        pass
+                    elif new_lo > new_hi:
+                        new_lo = cur_lo
+                        new_hi = cur_hi
+                    else:
+                        new_lo = cur_lo if new_lo >= cur_lo else neg
+                        new_hi = cur_hi if new_hi <= cur_hi else pos
+                elif narrow:
+                    # Inline bounds_narrow(cur, new).
+                    if cur_lo > cur_hi or new_lo > new_hi:
+                        new_lo = pos
+                        new_hi = neg
+                    else:
+                        narrow_lo = new_lo if cur_lo == neg else cur_lo
+                        narrow_hi = new_hi if cur_hi == pos else cur_hi
+                        if narrow_lo > narrow_hi:
+                            new_lo = pos
+                            new_hi = neg
+                        else:
+                            new_lo = narrow_lo
+                            new_hi = narrow_hi
+                if new_lo != cur_lo or new_hi != cur_hi:
+                    lo[index] = new_lo
+                    hi[index] = new_hi
+                    changed_append(index)
+                continue
+            for group in groups:
+                call = group.call
+                if call is not None:
+                    call(lo, hi)
+            # Commit only after the whole level is evaluated: members of one
+            # level never feed each other forward, and same-level back-edges
+            # must read previous-sweep state, exactly like the ranked heap.
+            for group in groups:
+                indices = group.indices
+                out_lo = group.out_lo
+                out_hi = group.out_hi
+                for i in range(len(indices)):
+                    index = indices[i]
+                    new_lo = out_lo[i]
+                    new_hi = out_hi[i]
+                    cur_lo = lo[index]
+                    cur_hi = hi[index]
+                    if widen:
+                        # Inline bounds_widen(cur, new).
+                        if cur_lo > cur_hi:
+                            pass
+                        elif new_lo > new_hi:
+                            new_lo = cur_lo
+                            new_hi = cur_hi
+                        else:
+                            new_lo = cur_lo if new_lo >= cur_lo else neg
+                            new_hi = cur_hi if new_hi <= cur_hi else pos
+                    elif narrow:
+                        # Inline bounds_narrow(cur, new).
+                        if cur_lo > cur_hi or new_lo > new_hi:
+                            new_lo = pos
+                            new_hi = neg
+                        else:
+                            narrow_lo = new_lo if cur_lo == neg else cur_lo
+                            narrow_hi = new_hi if cur_hi == pos else cur_hi
+                            if narrow_lo > narrow_hi:
+                                new_lo = pos
+                                new_hi = neg
+                            else:
+                                new_lo = narrow_lo
+                                new_hi = narrow_hi
+                    if new_lo != cur_lo or new_hi != cur_hi:
+                        lo[index] = new_lo
+                        hi[index] = new_hi
+                        changed_append(index)
+        self.batched_sweeps += 1
+        self.batched_evaluations += self._count
+        self.evaluations += self._count
+        if mode == _WIDEN:
+            self.widenings += len(changed)
+            self.widened.extend(changed)
+        elif mode == _NARROW:
+            self.narrowings += len(changed)
+        # Next sweep's frontier: users across back-edges of changed members
+        # (rank-forward users were already served within this sweep).
+        ranks = self._ranks
+        users = self._users
+        pending = set()
+        for index in changed:
+            rank = ranks[index]
+            for user in users[index]:
+                if ranks[user] <= rank:
+                    pending.add(user)
+        return sorted(pending)
+
+    # -- one sparse (per-member) sweep -------------------------------------------
+    def _sparse_sweep(self, pending: List[int], mode: int) -> List[int]:
+        """Evaluate only the pending members, in rank order.
+
+        A ranked sweep serves members by ascending rank, and every in-sweep
+        (rank-forward) push targets a rank *above* the member being served —
+        so instead of a heap, the sweep scans rank positions upward over a
+        reusable ``active`` flag array: mark the pending positions, walk from
+        the lowest, and flag rank-forward users as they become dirty.  Pop
+        order, reads and writes are identical to the ``(rank, index)`` heap
+        the scalar solver uses; only the bookkeeping cost changes.
+        """
+        lo = self._lo
+        hi = self._hi
+        neg = NEG_INF
+        pos = POS_INF
+        positions = self._positions
+        order = self._order
+        users = self._users
+        active = self._active
+        inline = self._inline
+        solo_const = _SOLO_CONST
+        solo_kernel = _SOLO_KERNEL
+        solo_copy = _SOLO_COPY
+        widen = mode == _WIDEN
+        narrow = mode == _NARROW
+        first = self._count
+        last = -1
+        for index in pending:
+            position = positions[index]
+            active[position] = 1
+            if position < first:
+                first = position
+            if position > last:
+                last = position
+        next_pending = set()
+        pops = 0
+        position = first
+        while position <= last:
+            if not active[position]:
+                position += 1
+                continue
+            active[position] = 0
+            index = order[position]
+            pops += 1
+            code = inline[index]
+            op = code[0]
+            if op == solo_kernel:
+                a = code[1]
+                b = code[2]
+                new_lo, new_hi = code[3](lo[a], hi[a], lo[b], hi[b])
+            elif op == solo_copy:
+                source = code[1]
+                new_lo = lo[source]
+                new_hi = hi[source]
+            elif op == solo_const:
+                new_lo = code[1]
+                new_hi = code[2]
+            else:  # phi
+                new_lo, new_hi = pos, neg
+                for operand in code[1]:
+                    blo = lo[operand]
+                    bhi = hi[operand]
+                    if new_lo > new_hi:
+                        new_lo = blo
+                        new_hi = bhi
+                    elif blo > bhi:
+                        continue
+                    else:
+                        if blo < new_lo:
+                            new_lo = blo
+                        if bhi > new_hi:
+                            new_hi = bhi
+            cur_lo = lo[index]
+            cur_hi = hi[index]
+            if widen:
+                if cur_lo > cur_hi:
+                    pass
+                elif new_lo > new_hi:
+                    new_lo = cur_lo
+                    new_hi = cur_hi
+                else:
+                    new_lo = cur_lo if new_lo >= cur_lo else neg
+                    new_hi = cur_hi if new_hi <= cur_hi else pos
+            elif narrow:
+                if cur_lo > cur_hi or new_lo > new_hi:
+                    new_lo = pos
+                    new_hi = neg
+                else:
+                    narrow_lo = new_lo if cur_lo == neg else cur_lo
+                    narrow_hi = new_hi if cur_hi == pos else cur_hi
+                    if narrow_lo > narrow_hi:
+                        new_lo = pos
+                        new_hi = neg
+                    else:
+                        new_lo = narrow_lo
+                        new_hi = narrow_hi
+            if new_lo != cur_lo or new_hi != cur_hi:
+                lo[index] = new_lo
+                hi[index] = new_hi
+                if widen:
+                    self.widenings += 1
+                    self.widened.append(index)
+                elif narrow:
+                    self.narrowings += 1
+                for user in users[index]:
+                    user_position = positions[user]
+                    if user_position > position:
+                        # Rank-forward dependent: revisit within this sweep
+                        # (its position is still ahead of the scan).
+                        if active[user_position]:
+                            self.coalesced += 1
+                        else:
+                            active[user_position] = 1
+                            if user_position > last:
+                                last = user_position
+                    else:
+                        next_pending.add(user)
+            position += 1
+        self.pops += pops
+        self.evaluations += pops
+        return sorted(next_pending)

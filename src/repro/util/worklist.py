@@ -87,34 +87,55 @@ class SolverInfo:
     """
 
     __slots__ = ("evaluations", "widenings", "narrowings", "sccs",
-                 "cyclic_sccs", "pops")
+                 "cyclic_sccs", "pops", "batched_sweeps",
+                 "batched_evaluations", "backends")
 
     def __init__(self, evaluations: int = 0, widenings: int = 0,
                  narrowings: int = 0, sccs: int = 0, cyclic_sccs: int = 0,
-                 pops: Optional[Dict[str, int]] = None) -> None:
+                 pops: Optional[Dict[str, int]] = None,
+                 batched_sweeps: int = 0, batched_evaluations: int = 0,
+                 backends: Optional[Dict[str, int]] = None) -> None:
         self.evaluations = evaluations
         self.widenings = widenings
         self.narrowings = narrowings
         self.sccs = sccs
         self.cyclic_sccs = cyclic_sccs
         self.pops: Dict[str, int] = dict(pops) if pops else {}
+        #: full batched sweeps run by the interval-kernel sweep executor and
+        #: the member evaluations they performed (a subset of
+        #: ``evaluations``; both 0 under the scalar backend).
+        self.batched_sweeps = batched_sweeps
+        self.batched_evaluations = batched_evaluations
+        #: solves served, keyed by the kernel backend that served them.
+        self.backends: Dict[str, int] = dict(backends) if backends else {}
 
     def record_pops(self, order: str, count: int) -> None:
         if count:
             self.pops[order] = self.pops.get(order, 0) + count
+
+    def record_backend(self, backend: str, solves: int = 1) -> None:
+        if solves:
+            self.backends[backend] = self.backends.get(backend, 0) + solves
 
     def merge(self, other: "SolverInfo") -> "SolverInfo":
         """Lossless sum of two counter sets (commutative)."""
         pops = dict(self.pops)
         for order, count in other.pops.items():
             pops[order] = pops.get(order, 0) + count
+        backends = dict(self.backends)
+        for backend, count in other.backends.items():
+            backends[backend] = backends.get(backend, 0) + count
         return SolverInfo(
             evaluations=self.evaluations + other.evaluations,
             widenings=self.widenings + other.widenings,
             narrowings=self.narrowings + other.narrowings,
             sccs=self.sccs + other.sccs,
             cyclic_sccs=self.cyclic_sccs + other.cyclic_sccs,
-            pops=pops)
+            pops=pops,
+            batched_sweeps=self.batched_sweeps + other.batched_sweeps,
+            batched_evaluations=(self.batched_evaluations
+                                 + other.batched_evaluations),
+            backends=backends)
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -124,18 +145,26 @@ class SolverInfo:
             "sccs": self.sccs,
             "cyclic_sccs": self.cyclic_sccs,
             "pops": dict(sorted(self.pops.items())),
+            "batched_sweeps": self.batched_sweeps,
+            "batched_evaluations": self.batched_evaluations,
+            "backends": dict(sorted(self.backends.items())),
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "SolverInfo":
         pops = data.get("pops", {}) or {}
+        backends = data.get("backends", {}) or {}
         return cls(
             evaluations=int(data.get("evaluations", 0)),
             widenings=int(data.get("widenings", 0)),
             narrowings=int(data.get("narrowings", 0)),
             sccs=int(data.get("sccs", 0)),
             cyclic_sccs=int(data.get("cyclic_sccs", 0)),
-            pops={str(order): int(count) for order, count in dict(pops).items()})
+            pops={str(order): int(count) for order, count in dict(pops).items()},
+            batched_sweeps=int(data.get("batched_sweeps", 0)),
+            batched_evaluations=int(data.get("batched_evaluations", 0)),
+            backends={str(backend): int(count)
+                      for backend, count in dict(backends).items()})
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, SolverInfo):

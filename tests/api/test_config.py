@@ -26,6 +26,7 @@ from repro.api.config import (
     resolved_store_max_bytes,
     resolved_store_path,
     resolved_synth_seed,
+    resolved_interval_kernel,
     resolved_workers,
     resolved_worklist_order,
 )
@@ -33,8 +34,8 @@ from repro.api.config import (
 ALL_VARS = (
     "REPRO_WORKERS", "REPRO_STORE", "REPRO_STORE_BACKEND",
     "REPRO_STORE_MAX_MB", "REPRO_RANGE_SOLVER", "REPRO_LT_SOLVER",
-    "REPRO_WORKLIST_ORDER", "REPRO_CLASS_LIMIT", "REPRO_SYNTH_SEED",
-    "REPRO_FULL",
+    "REPRO_WORKLIST_ORDER", "REPRO_INTERVAL_KERNEL", "REPRO_CLASS_LIMIT",
+    "REPRO_SYNTH_SEED", "REPRO_FULL",
 )
 
 
@@ -54,6 +55,7 @@ def test_defaults_without_environment():
     assert config.range_solver == "sparse"
     assert config.lt_solver == "sparse"
     assert config.worklist_order == "fifo"
+    assert config.interval_kernel == "scalar"
     assert config.class_limit == 64
     assert config.synth_seed == 7
     assert config.full_scale is False
@@ -67,6 +69,7 @@ def test_environment_resolution(monkeypatch):
     monkeypatch.setenv("REPRO_RANGE_SOLVER", "dense")
     monkeypatch.setenv("REPRO_LT_SOLVER", "constraint")
     monkeypatch.setenv("REPRO_WORKLIST_ORDER", "scc")
+    monkeypatch.setenv("REPRO_INTERVAL_KERNEL", "batch")
     monkeypatch.setenv("REPRO_CLASS_LIMIT", "8")
     monkeypatch.setenv("REPRO_SYNTH_SEED", "11")
     monkeypatch.setenv("REPRO_FULL", "1")
@@ -79,6 +82,7 @@ def test_environment_resolution(monkeypatch):
     assert config.range_solver == "dense"
     assert config.lt_solver == "constraint"
     assert config.worklist_order == "scc"
+    assert config.interval_kernel == "batch"
     assert config.class_limit == 8
     assert config.synth_seed == 11
     assert config.full_scale is True
@@ -108,6 +112,7 @@ def test_zero_budget_means_unbounded():
     ("REPRO_RANGE_SOLVER", "nonsense"),
     ("REPRO_LT_SOLVER", "bogus"),
     ("REPRO_WORKLIST_ORDER", "priority"),
+    ("REPRO_INTERVAL_KERNEL", "simd"),
     ("REPRO_CLASS_LIMIT", "-3"),
     ("REPRO_SYNTH_SEED", "x"),
     ("REPRO_FULL", "maybe"),
@@ -126,6 +131,7 @@ def test_invalid_environment_values_raise(monkeypatch, env_var, value):
     ("range_solver", "nonsense"),
     ("lt_solver", "bogus"),
     ("worklist_order", "priority"),
+    ("interval_kernel", "simd"),
     ("class_limit", -3),
 ])
 def test_invalid_explicit_values_name_the_field(field, value):
@@ -181,6 +187,16 @@ def test_worklist_order_precedence(monkeypatch):
     with ReproConfig(worklist_order="scc").activate():
         assert resolved_worklist_order() == "scc"
     assert resolved_worklist_order() == "loopdepth"
+
+
+def test_interval_kernel_precedence(monkeypatch):
+    assert resolved_interval_kernel() == "scalar"
+    monkeypatch.setenv("REPRO_INTERVAL_KERNEL", "numpy")
+    assert resolved_interval_kernel() == "numpy"
+    # An active config's field wins over the environment.
+    with ReproConfig(interval_kernel="batch").activate():
+        assert resolved_interval_kernel() == "batch"
+    assert resolved_interval_kernel() == "numpy"
 
 
 def test_install_config_is_idempotent():

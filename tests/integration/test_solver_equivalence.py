@@ -31,10 +31,11 @@ def _verdict_streams(results):
 
 
 def _run_with_solvers(monkeypatch, range_solver, lt_solver, order="fifo",
-                      workers=0):
+                      workers=0, kernel="scalar"):
     monkeypatch.setenv("REPRO_RANGE_SOLVER", range_solver)
     monkeypatch.setenv("REPRO_LT_SOLVER", lt_solver)
     monkeypatch.setenv("REPRO_WORKLIST_ORDER", order)
+    monkeypatch.setenv("REPRO_INTERVAL_KERNEL", kernel)
     return run_workload(_kernel_units(), specs=SPECS, workers=workers,
                         store=False)
 
@@ -75,6 +76,41 @@ def test_verdicts_bit_identical_across_worklist_orders(monkeypatch):
                 assert [{name: result.evaluation(name).as_dict()
                          for name in result.labels}
                         for result in results] == reference_counts, label
+
+
+def test_verdicts_bit_identical_across_interval_kernels(monkeypatch):
+    """The ``REPRO_INTERVAL_KERNEL`` matrix: the batched (and, when numpy is
+    installed, vectorized) sweep executors reach the same fixed points as the
+    scalar solver under every worklist order, so the pipeline's verdict
+    streams are bit-identical end to end."""
+    from repro.rangeanalysis.kernels import get_backend
+
+    baseline = _run_with_solvers(monkeypatch, "sparse", "sparse")
+    reference_stream = _verdict_streams(baseline)
+    kernels = ["batch"]
+    if get_backend("numpy").name == "numpy":
+        kernels.append("numpy")
+    for order in ("fifo", "scc", "loopdepth"):
+        for kernel in kernels:
+            results = _run_with_solvers(monkeypatch, "sparse", "sparse",
+                                        order, kernel=kernel)
+            assert _verdict_streams(results) == reference_stream, (order,
+                                                                   kernel)
+
+
+def test_batched_kernel_equivalence_survives_sharding(monkeypatch):
+    """Serial vs ``workers=2`` under the batch backend: identical verdicts
+    and identical merged solver totals, including the new batch counters."""
+    serial = _run_with_solvers(monkeypatch, "sparse", "sparse", "scc",
+                               kernel="batch")
+    sharded = _run_with_solvers(monkeypatch, "sparse", "sparse", "scc",
+                                workers=2, kernel="batch")
+    assert _verdict_streams(serial) == _verdict_streams(sharded)
+    for serial_result, sharded_result in zip(serial, sharded):
+        serial_solver = serial_result.statistics.solver
+        assert serial_solver == sharded_result.statistics.solver
+        assert serial_solver.batched_sweeps > 0
+        assert serial_solver.backends.get("batch", 0) > 0
 
 
 def test_worklist_order_equivalence_survives_sharding(monkeypatch):

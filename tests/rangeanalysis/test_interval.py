@@ -179,3 +179,49 @@ def test_div_is_sound_for_constant_divisors(ia, divisor, x):
         if (x < 0) != (divisor < 0):
             quotient = -quotient
         assert ia.div(Interval.constant(divisor)).contains(quotient)
+
+
+# -- intern cache instrumentation ----------------------------------------------
+
+def test_intern_cache_counts_hits_and_misses():
+    Interval.clear_interned()
+    info = Interval.intern_info()
+    assert info["hits"] == 0 and info["misses"] == 0
+    first = Interval.of(3, 9)        # miss: freshly interned
+    again = Interval.of(3, 9)        # hit: canonical object returned
+    assert again is first
+    info = Interval.intern_info()
+    assert info["misses"] == 1
+    assert info["hits"] == 1
+    assert info["hit_rate"] == 0.5
+    assert info["capacity"] == Interval._INTERN_CAP
+    assert info["size"] >= 2  # the pair plus the always-registered top
+
+
+def test_clear_interned_keeps_canonical_top():
+    Interval.of(1, 2)
+    Interval.of(4, 8)
+    evicted = Interval.clear_interned()
+    assert evicted >= 0
+    info = Interval.intern_info()
+    assert info["size"] == 1  # only top survives
+    assert info["hits"] == 0 and info["misses"] == 0
+    # The surviving entry is the canonical top singleton.
+    assert Interval.of(NEG_INF, POS_INF) is Interval.top()
+    assert Interval.intern_info()["hits"] == 1
+
+
+def test_intern_cache_is_capacity_bounded():
+    Interval.clear_interned()
+    cap = Interval._INTERN_CAP
+    try:
+        Interval._INTERN_CAP = 4
+        for value in range(10):
+            Interval.of(value, value + 1)
+        assert Interval.intern_info()["size"] <= 4
+        # Beyond the cap the constructor still hands out equal intervals,
+        # just not canonical ones.
+        assert Interval.of(9, 10) == Interval(9, 10)
+    finally:
+        Interval._INTERN_CAP = cap
+        Interval.clear_interned()
