@@ -1,0 +1,74 @@
+"""Verification overhead — ``REPRO_VERIFY=post`` vs an unverified run.
+
+The self-check suite (``src/repro/verify/``) re-applies every transfer
+function once, re-evaluates every LT constraint, and re-justifies every
+NoAlias verdict after each solve.  One naive pass over an already solved
+state should be cheap next to the solve itself; this figure measures the
+whole ``run_workload`` pipeline over the SPEC-like synthetic programs with
+verification off and in ``post`` mode and gates the ratio at ≤ 15%
+(``REPRO_MAX_VERIFY_OVERHEAD``, CI smoke runners may loosen it).
+"""
+
+import time
+
+from harness import full_scale, print_table, write_results
+
+from repro.api import ReproConfig, Session, env_float
+from repro.synth import spec_sources
+
+PROGRAMS = (
+    ["lbm", "milc", "bzip2", "gobmk", "mcf", "soplex"] if not full_scale()
+    else None  # None = all sixteen SPEC-like programs
+)
+REPEATS = 5 if full_scale() else 3
+#: acceptance threshold on total wall-clock: verified / unverified.
+MAX_OVERHEAD = env_float("REPRO_MAX_VERIFY_OVERHEAD", 1.15)
+
+
+def _run(units, verify):
+    # A fresh session per run: verification must not ride on a warm cache
+    # the unverified baseline built (and vice versa).
+    with Session(ReproConfig(verify=verify, workers=0)) as session:
+        start = time.perf_counter()
+        results = session.run_workload(units, store=False)
+        elapsed = time.perf_counter() - start
+    return elapsed, results
+
+
+def _verdict_maps(results):
+    return [{label: result.verdicts(label) for label in result.labels}
+            for result in results]
+
+
+def test_post_verification_overhead(benchmark):
+    units = spec_sources(PROGRAMS)
+
+    baseline = verified = 0.0
+    baseline_results = verified_results = None
+    for _ in range(REPEATS):
+        seconds, baseline_results = _run(units, "off")
+        baseline += seconds
+        seconds, verified_results = _run(units, "post")
+        verified += seconds
+
+    # pytest-benchmark tracks the verified path.
+    benchmark(lambda: _run(units[:2], "post"))
+
+    # Verification must never change verdicts.
+    assert _verdict_maps(baseline_results) == _verdict_maps(verified_results)
+
+    overhead = verified / baseline if baseline else 1.0
+    rows = [{
+        "programs": len(units),
+        "repeats": REPEATS,
+        "baseline_s": round(baseline, 3),
+        "verified_s": round(verified, 3),
+        "overhead": round(overhead, 3),
+        "budget": MAX_OVERHEAD,
+    }]
+    print_table("REPRO_VERIFY=post overhead vs unverified run", rows)
+    write_results("verify_overhead", rows)
+
+    assert overhead <= MAX_OVERHEAD, \
+        "post-mode verification costs {:.1%} (budget {:.1%})".format(
+            overhead - 1.0, MAX_OVERHEAD - 1.0)

@@ -6,6 +6,9 @@ Subcommands:
   workload) through the execution engine; prints a per-program table,
   optionally writes CSV/JSON.
 * ``print-ir`` — compile a source file and print its SSA IR.
+* ``check`` — run the self-check suite (IR/e-SSA lint, fixpoint
+  certificates, NoAlias verdict audit) over source files or a synthetic
+  workload; exit 1 when any error-severity diagnostic is found.
 * ``stats`` — solver/disambiguation/cache statistics for one source file.
 * ``store`` — inspect or maintain a persistent analysis store
   (``info`` / ``evict`` / ``clear``).
@@ -30,7 +33,16 @@ import os
 import sys
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.api.config import ConfigError, ReproConfig
+from repro.api.config import (
+    ConfigError,
+    INTERVAL_KERNELS,
+    LT_SOLVERS,
+    RANGE_SOLVERS,
+    ReproConfig,
+    STORE_BACKENDS,
+    VERIFY_MODES,
+    WORKLIST_ORDERS,
+)
 from repro.obs import TRACER
 
 #: analysis members accepted inside an ``--specs`` item.
@@ -48,24 +60,28 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--store", default=None, metavar="PATH",
                        help="persistent analysis-store path")
     group.add_argument("--store-backend", default=None,
-                       choices=("sqlite", "pickle"), help="force a store backend")
+                       choices=STORE_BACKENDS, help="force a store backend")
     group.add_argument("--store-max-mb", type=float, default=None, metavar="MB",
                        help="store byte budget (0 = unbounded)")
     group.add_argument("--range-solver", default=None,
-                       choices=("sparse", "dense"), help="range fixed-point solver")
+                       choices=RANGE_SOLVERS, help="range fixed-point solver")
     group.add_argument("--lt-solver", default=None,
-                       choices=("sparse", "constraint"),
+                       choices=LT_SOLVERS,
                        help="less-than worklist strategy")
     group.add_argument("--worklist-order", default=None,
-                       choices=("fifo", "scc", "loopdepth"),
+                       choices=WORKLIST_ORDERS,
                        help="sparse-solver worklist ordering policy")
     group.add_argument("--interval-kernel", default=None,
-                       choices=("scalar", "batch", "numpy"),
+                       choices=INTERVAL_KERNELS,
                        help="interval-kernel backend of the ranked table "
                             "solver (numpy degrades to batch when numpy is "
                             "not installed)")
     group.add_argument("--class-limit", type=int, default=None, metavar="N",
                        help="equivalence-class truncation limit (0 = unlimited)")
+    group.add_argument("--verify", default=None, choices=VERIFY_MODES,
+                       help="self-check every solved pipeline (post = after "
+                            "each in-process solve, paranoid = also inside "
+                            "pool workers)")
     group.add_argument("--seed", type=int, default=None, metavar="N",
                        help="synthetic-workload base seed")
     group.add_argument("--trace", default=None, metavar="FILE",
@@ -86,6 +102,7 @@ def _config_from_arguments(args: argparse.Namespace) -> ReproConfig:
             ("worklist_order", "worklist_order"),
             ("interval_kernel", "interval_kernel"),
             ("class_limit", "class_limit"),
+            ("verify", "verify"),
             ("synth_seed", "seed"),
             ("trace", "trace")):
         value = getattr(args, attribute, None)
@@ -147,7 +164,8 @@ def _print_table(rows: Sequence[Dict[str, object]]) -> None:
 # Subcommands
 # ---------------------------------------------------------------------------
 
-def _collect_units(args: argparse.Namespace) -> List[Tuple[str, str]]:
+def _collect_units(args: argparse.Namespace,
+                   command: str = "eval") -> List[Tuple[str, str]]:
     units: List[Tuple[str, str]] = [(_unit_name(path), _read_source(path))
                                     for path in args.sources]
     if args.synth is not None:
@@ -159,7 +177,8 @@ def _collect_units(args: argparse.Namespace) -> List[Tuple[str, str]]:
             units.extend(spec_sources()[:args.count])
     if not units:
         raise ConfigError(
-            "eval needs at least one source file or --synth testsuite|spec")
+            "{} needs at least one source file or --synth testsuite|spec"
+            .format(command))
     return units
 
 
@@ -234,6 +253,58 @@ def _cmd_eval(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Lint + certify: the self-check suite as a standalone subcommand.
+
+    Exit status: 0 when every unit verifies clean, 1 when any
+    error-severity diagnostic was found, 2 on usage errors — so CI can run
+    ``repro check --json`` as a gate.
+    """
+    from repro.api.session import Session
+
+    config = _config_from_arguments(args)
+    with config.activate():
+        units = _collect_units(args, command="check")
+    interprocedural = not args.intraprocedural
+    unit_reports = []
+    with Session(config) as session:
+        for name, source in units:
+            compiled = session.compile(source, name=name)
+            compiled.analyze(interprocedural)
+            unit_reports.append((name, compiled.verify(interprocedural)))
+
+    if args.json:
+        payload = {
+            "ok": all(report.ok for _name, report in unit_reports),
+            "units": [{
+                "name": name,
+                "ok": report.ok,
+                "summary": report.summary(),
+                "report": report.as_dict(),
+            } for name, report in unit_reports],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if payload["ok"] else 1
+
+    failed = 0
+    total_checks = total_errors = total_warnings = total_functions = 0
+    for name, report in unit_reports:
+        status = "ok" if report.ok else "FAILED"
+        print("{}: {} ({})".format(name, status, report.summary()))
+        for diagnostic in report.diagnostics:
+            print("  {}".format(diagnostic.format()))
+        failed += 0 if report.ok else 1
+        total_checks += report.checks_run()
+        total_errors += len(report.errors)
+        total_warnings += len(report.warnings)
+        total_functions += report.functions
+    if len(unit_reports) > 1:
+        print("TOTAL: {} checks, {} errors, {} warnings over {} functions "
+              "in {} units".format(total_checks, total_errors, total_warnings,
+                                   total_functions, len(unit_reports)))
+    return 1 if failed else 0
+
+
 def _cmd_print_ir(args: argparse.Namespace) -> int:
     from repro.api.session import Session
 
@@ -298,6 +369,11 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     with Session(config) as session:
         unit = session.compile(source, name=name)
         report = unit.analyze(interprocedural).disambiguate(interprocedural)
+        if session.config.verify != "off":
+            # stats analyzes through the session cache, not the engine, so
+            # the post-solve hook never fires here; honor the knob directly.
+            unit.verify(interprocedural).raise_if_failed(
+                "REPRO_VERIFY={}".format(session.config.verify))
         lt_statistics = unit.lessthan(interprocedural).statistics
         range_totals: Dict[str, int] = {}
         with session.config.activate():
@@ -382,6 +458,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             else:
                 print("  {:24s} 0/0 (no churn in this run)".format(
                     kind + "_hit_rate"))
+        verify_stats = statistics.get("verify", {})
+        print("[verify]            mode={}".format(session.config.verify))
+        if verify_stats.get("runs"):
+            for key, value in verify_stats.items():
+                print("  {:24s} {}".format(key, value))
+        else:
+            print("  (no verification runs — set REPRO_VERIFY=post|paranoid "
+                  "or run 'repro check')")
         if "store" in statistics:
             print("[store]")
             for key, value in statistics["store"].items():
@@ -389,6 +473,24 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                     print("  {:24s} {:.2%}".format(key, value))
                 else:
                     print("  {:24s} {}".format(key, value))
+        elif session.config.store_path:
+            # This command never evaluates through the engine, so the lazy
+            # session store stays unopened; still give the user a [store]
+            # section for the path they configured.  Missing and zero-byte
+            # files are fresh stores, not errors — say "no data", exit 0.
+            print("[store]             path={}".format(session.config.store_path))
+            path = session.config.store_path
+            if not os.path.exists(path) or os.path.getsize(path) == 0:
+                print("  (no data — run an eval with this store to "
+                      "populate it)")
+            else:
+                from repro.engine.store import AnalysisStore
+
+                with AnalysisStore(path,
+                                   backend=session.config.store_backend,
+                                   readonly=True, max_bytes=0) as store_handle:
+                    for key, value in store_handle.info().items():
+                        print("  {:24s} {}".format(key, value))
         if args.timings:
             _print_timings()
     if capture_here:
@@ -462,6 +564,24 @@ def build_parser() -> argparse.ArgumentParser:
                              help="also write the table as CSV")
     _add_config_arguments(eval_parser)
     eval_parser.set_defaults(handler=_cmd_eval)
+
+    check_parser = subparsers.add_parser(
+        "check", help="self-check: IR lint, fixpoint certificates, "
+                      "NoAlias verdict audit")
+    check_parser.add_argument("sources", nargs="*",
+                              help="mini-C source files ('-' = stdin)")
+    check_parser.add_argument("--synth", choices=("testsuite", "spec"),
+                              default=None,
+                              help="also check a synthetic workload collection")
+    check_parser.add_argument("--count", type=int, default=8, metavar="N",
+                              help="synthetic program count (default 8)")
+    check_parser.add_argument("--intraprocedural", action="store_true",
+                              help="disable interprocedural pseudo-phi "
+                                   "constraints")
+    check_parser.add_argument("--json", action="store_true",
+                              help="emit the full diagnostic report as JSON")
+    _add_config_arguments(check_parser)
+    check_parser.set_defaults(handler=_cmd_check)
 
     ir_parser = subparsers.add_parser(
         "print-ir", help="compile one source file and print its SSA IR")

@@ -44,6 +44,7 @@ field                environment variable     default
 ``worklist_order``   ``REPRO_WORKLIST_ORDER`` ``"fifo"``
 ``interval_kernel``  ``REPRO_INTERVAL_KERNEL`` ``"scalar"``
 ``class_limit``      ``REPRO_CLASS_LIMIT``    ``64`` (``0`` = unlimited)
+``verify``           ``REPRO_VERIFY``         ``"off"``
 ``synth_seed``       ``REPRO_SYNTH_SEED``     ``7``
 ``full_scale``       ``REPRO_FULL``           ``False``
 ``trace``            ``REPRO_TRACE``          ``None`` (tracing disabled)
@@ -95,6 +96,11 @@ WORKLIST_ORDERS = ("fifo", "scc", "loopdepth")
 #: ``batch`` at runtime when numpy is not installed).
 INTERVAL_KERNELS = ("scalar", "batch", "numpy")
 STORE_BACKENDS = ("sqlite", "pickle")
+#: self-check modes of the verification pass suite (``repro.verify``):
+#: ``off`` skips it, ``post`` re-checks every in-process solve, and
+#: ``paranoid`` additionally runs inside pool workers, shipping reports
+#: back through the shard payload.
+VERIFY_MODES = ("off", "post", "paranoid")
 
 _FALSEY = ("", "0", "false", "no", "off")
 _TRUTHY = ("1", "true", "yes", "on")
@@ -260,6 +266,15 @@ def _resolve_interval_kernel(value: object) -> str:
                          False, INTERVAL_KERNELS)
 
 
+def _resolve_verify(value: object) -> str:
+    if isinstance(value, _Unset):
+        raw = _env("REPRO_VERIFY")
+        if raw is None:
+            return "off"
+        return _parse_choice("verify", "REPRO_VERIFY", raw, True, VERIFY_MODES)
+    return _parse_choice("verify", "REPRO_VERIFY", value, False, VERIFY_MODES)
+
+
 def _resolve_class_limit(value: object) -> int:
     if isinstance(value, _Unset):
         raw = _env("REPRO_CLASS_LIMIT")
@@ -319,6 +334,7 @@ class ReproConfig:
     lt_solver: str = UNSET                   # type: ignore[assignment]
     worklist_order: str = UNSET              # type: ignore[assignment]
     interval_kernel: str = UNSET             # type: ignore[assignment]
+    verify: str = UNSET                      # type: ignore[assignment]
     class_limit: int = UNSET                 # type: ignore[assignment]
     synth_seed: int = UNSET                  # type: ignore[assignment]
     full_scale: bool = UNSET                 # type: ignore[assignment]
@@ -336,6 +352,7 @@ class ReproConfig:
                 _resolve_worklist_order(self.worklist_order))
         resolve(self, "interval_kernel",
                 _resolve_interval_kernel(self.interval_kernel))
+        resolve(self, "verify", _resolve_verify(self.verify))
         resolve(self, "class_limit", _resolve_class_limit(self.class_limit))
         resolve(self, "synth_seed", _resolve_synth_seed(self.synth_seed))
         resolve(self, "full_scale", _resolve_full_scale(self.full_scale))
@@ -460,6 +477,12 @@ def resolved_interval_kernel() -> str:
     config = active_config()
     return (config.interval_kernel if config is not None
             else _resolve_interval_kernel(UNSET))
+
+
+def resolved_verify() -> str:
+    """The self-check mode: ``off``, ``post``, or ``paranoid``."""
+    config = active_config()
+    return config.verify if config is not None else _resolve_verify(UNSET)
 
 
 def resolved_class_limit() -> Optional[int]:

@@ -55,6 +55,8 @@ from repro.ir.module import Module
 from repro.ir.printer import print_module
 from repro.obs import TRACER, write_chrome_trace
 from repro.passes.analysis_cache import FunctionAnalysisCache, RefreshResult
+from repro.verify import COUNTERS as _VERIFY_COUNTERS
+from repro.verify import VerificationReport, verify_analysis
 
 
 class _Unopened:
@@ -177,6 +179,23 @@ class CompiledUnit:
         """``aa-eval`` this module in-process through the session."""
         return self.session.evaluate(self.module, specs=specs, **kwargs)
 
+    def verify(self, interprocedural: bool = True) -> "VerificationReport":
+        """Run the self-check suite over this module's solved pipeline.
+
+        Analyzes first if the unit has not been analyzed yet (the checkers
+        need a solved state to certify), then validates the IR/e-SSA form,
+        the interval and less-than fixpoint certificates, and every NoAlias
+        verdict of the session-cached disambiguator.  Returns the
+        :class:`~repro.verify.VerificationReport`; inspect ``.ok`` or call
+        ``.raise_if_failed()``.
+        """
+        with self.session.config.activate():
+            analysis = self.session.cache.module_lessthan(self.module,
+                                                          interprocedural)
+            disambiguator = self.session.cache.module_disambiguator(
+                self.module, interprocedural)
+            return verify_analysis(analysis, disambiguator)
+
     # -- views -------------------------------------------------------------------
     def print_ir(self) -> str:
         """The module's printed IR in its *current* form."""
@@ -224,6 +243,7 @@ class Session:
             config = config.replace(**overrides)
         self.config = config
         self.cache = FunctionAnalysisCache()
+        self._compiled: List[CompiledUnit] = []
         self._store: Union[_Unopened, Optional[AnalysisStore]] = _UNOPENED
         # A configured trace path makes this session the tracer's owner: it
         # starts the capture here and writes the Chrome trace on close().
@@ -290,7 +310,24 @@ class Session:
         """Compile mini-C ``source`` into a session-bound pipeline stage."""
         with self.config.activate():
             module = compile_source(source, module_name=name)
-        return CompiledUnit(self, name, source, module)
+        unit = CompiledUnit(self, name, source, module)
+        self._compiled.append(unit)
+        return unit
+
+    def verify(self, interprocedural: bool = True) -> VerificationReport:
+        """Self-check every module this session has compiled.
+
+        Runs the full suite (IR lint, σ lint, interval and LT fixpoint
+        certificates, NoAlias verdict audit) over each
+        :meth:`compile`-produced unit, analyzing through the session cache
+        where needed, and returns the merged report.  An un-analyzed unit
+        is analyzed on the spot — verification is only meaningful against a
+        solved state.
+        """
+        merged = VerificationReport()
+        for unit in self._compiled:
+            merged = merged.merge(unit.verify(interprocedural))
+        return merged
 
     # -- evaluation ----------------------------------------------------------------
     def evaluate(self, module: Module,
@@ -424,6 +461,7 @@ class Session:
     def statistics(self) -> Dict[str, object]:
         """Cache and store counters for dashboards/tests."""
         stats: Dict[str, object] = {"cache": self.cache.statistics.as_dict()}
+        stats["verify"] = _VERIFY_COUNTERS.as_dict()
         store = self._store if isinstance(self._store, AnalysisStore) else None
         if store is not None:
             stats["store"] = {

@@ -41,7 +41,12 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
 
-from repro.api.config import resolved_lt_solver, resolved_worklist_order
+from repro.api.config import (
+    ConfigError,
+    LT_SOLVERS,
+    resolved_lt_solver,
+    resolved_worklist_order,
+)
 from repro.core.lessthan.constraints import Constraint, LTState, TOP
 from repro.ir.values import Value
 from repro.obs import TRACER
@@ -135,8 +140,9 @@ class ConstraintSolver:
                  order: Optional[str] = None) -> None:
         self.constraints: List[Constraint] = list(constraints)
         self.strategy = strategy or default_lt_solver()
-        if self.strategy not in ("sparse", "constraint"):
-            raise ValueError("unknown solver strategy {!r}".format(self.strategy))
+        if self.strategy not in LT_SOLVERS:
+            raise ConfigError("lt_solver={!r} is not one of {}".format(
+                self.strategy, "/".join(LT_SOLVERS)))
         self.order = validate_order(order or resolved_worklist_order())
         self.statistics = SolverStatistics()
         self.statistics.order = self.order

@@ -174,6 +174,29 @@ def _absorb_telemetry(payload: Dict[str, object]) -> None:
         TRACER.absorb_shard(spans, lane, epoch)
 
 
+def _absorb_verify(payload: Dict[str, object]) -> None:
+    """Fold a pool payload's shipped verification report into the process.
+
+    Under ``REPRO_VERIFY=paranoid`` every worker verifies its own shard and
+    attaches the report to the payload (in-process runs raise right in the
+    worker module instead).  The coordinator counts the shipped report into
+    :data:`repro.verify.COUNTERS` and re-raises its error findings here, so
+    paranoid failures surface identically whether the shard ran pooled or
+    not.  The field is popped unconditionally so verdict output never
+    carries verification data.
+    """
+    shipped = payload.pop("verify", None)
+    if not shipped:
+        return
+    from repro.verify import COUNTERS, VerificationReport
+
+    report = VerificationReport.from_dict(shipped)
+    COUNTERS.record(report)
+    report.raise_if_failed(
+        "REPRO_VERIFY=paranoid (worker pid {})".format(
+            payload.get("pid", "?")))
+
+
 def _write_back(store: Optional[AnalysisStore],
                 payload: Dict[str, object]) -> None:
     """Persist one payload's freshly computed entries (coordinator-side).
@@ -232,6 +255,7 @@ def _run_units(units: List[WorkUnit], workers: int,
         for index, payload in pool.imap_unordered(
                 worker_module.execute_indexed, tasks, chunksize=1):
             _absorb_telemetry(payload)
+            _absorb_verify(payload)
             _write_back(store, payload)
             arrived.append((index, payload))
             if on_payload is not None:

@@ -274,7 +274,9 @@ class _PickleBackend:
         self._dirty = False
         self._meta: Dict[str, str] = {}
         self._entries: Dict[str, Tuple[bytes, int]] = {}
-        if os.path.exists(path):
+        # A zero-byte file (touch(1), an interrupted first write) is a fresh
+        # store, not a corrupt one — loading it would raise EOFError.
+        if os.path.exists(path) and os.path.getsize(path) > 0:
             with open(path, "rb") as handle:
                 data = pickle.load(handle)
             self._meta = dict(data.get("meta", {}))

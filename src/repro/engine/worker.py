@@ -33,7 +33,7 @@ import os
 import sys
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.api.config import ReproConfig, install_config
+from repro.api.config import ReproConfig, install_config, resolved_verify
 from repro.alias.aaeval import (
     AliasEvaluation,
     evaluate_function,
@@ -54,6 +54,14 @@ from repro.ir.module import Module
 from repro.ir.printer import print_function, print_module
 from repro.obs import TRACER
 from repro.passes.analysis_cache import FunctionAnalysisCache
+from repro.verify import VerificationReport, verify_alias_analysis
+
+#: True inside a multiprocessing pool worker (set by :func:`initialize_worker`).
+#: The self-check hook consults it: in-process runs verify under ``post`` and
+#: ``paranoid`` and raise on failure; pool workers verify under ``paranoid``
+#: only and ship the report back through the payload for the coordinator to
+#: judge (raising inside the pool would surface as an opaque pool error).
+_IN_POOL_WORKER = False
 
 
 def initialize_worker(src_path: Optional[str],
@@ -72,6 +80,8 @@ def initialize_worker(src_path: Optional[str],
     config carries a trace path, this worker's tracer starts recording too;
     the span buffer ships back with each payload (see :func:`execute`).
     """
+    global _IN_POOL_WORKER
+    _IN_POOL_WORKER = True
     if src_path and src_path not in sys.path:
         sys.path.insert(0, src_path)
     if config is not None:
@@ -266,7 +276,20 @@ def evaluate_module_functions(module: Module,
     if store is not None and store.readonly:
         touched_keys = list(store.touched_keys[touched_before:])
 
-    return {
+    # Self-check hook (REPRO_VERIFY): after the statistics snapshot — the
+    # audit restores the disambiguator counters it touches, so verified and
+    # unverified runs produce byte-identical payloads — and only when this
+    # call actually solved something (warm runs re-check nothing).
+    verify_report = None
+    verify_mode = resolved_verify()
+    if (verify_mode != "off" and prepared
+            and (verify_mode == "paranoid" or not _IN_POOL_WORKER)):
+        verify_report = _verify_prepared_analyses(analyses)
+        if verify_report is not None and not _IN_POOL_WORKER:
+            verify_report.raise_if_failed(
+                "REPRO_VERIFY={}".format(verify_mode))
+
+    payload: Dict[str, object] = {
         "kind": "aaeval",
         "name": name if name is not None else module.name,
         "functions": [function.name for function in functions],
@@ -280,6 +303,38 @@ def evaluate_module_functions(module: Module,
         "touched_keys": touched_keys,
         "pid": os.getpid(),
     }
+    if verify_report is not None and _IN_POOL_WORKER:
+        # Ship the report like tracing spans: the coordinator pops the field
+        # (never persisted — _PERSISTED_FIELDS excludes it), folds the
+        # counters into its own totals and raises on error findings.
+        payload["verify"] = verify_report.as_dict()
+    return payload
+
+
+def _verify_prepared_analyses(
+        analyses: Dict[str, AliasAnalysis]) -> Optional[VerificationReport]:
+    """Run the self-check suite over every freshly solved LT analysis.
+
+    Chained specs share cached underlying analyses, so runs are deduplicated
+    by the identity of the prepared analysis object, mirroring the
+    disambiguator-statistics loop above.
+    """
+    report: Optional[VerificationReport] = None
+    seen = set()
+    for analysis in analyses.values():
+        members = (analysis.analyses if isinstance(analysis, AliasAnalysisChain)
+                   else [analysis])
+        for member in members:
+            if not isinstance(member, StrictInequalityAliasAnalysis):
+                continue
+            underlying = member.analysis
+            marker = id(underlying) if underlying is not None else id(member)
+            if marker in seen:
+                continue
+            seen.add(marker)
+            sub = verify_alias_analysis(member)
+            report = sub if report is None else report.merge(sub)
+    return report
 
 
 # ---------------------------------------------------------------------------

@@ -47,6 +47,29 @@ def verify_module(module: Module) -> None:
             raise VerificationError("in function @{}: {}".format(function.name, exc)) from exc
 
 
+def function_problems(function: Function) -> List[str]:
+    """Every invariant violation of ``function``, as messages (lint mode).
+
+    Unlike :func:`verify_function` this does not stop at the first problem:
+    each check runs independently and contributes at most one message (the
+    checks themselves raise on their first finding), so the self-check suite
+    (:mod:`repro.verify`) can report per-category diagnostics instead of one
+    opaque exception.
+    """
+    if function.is_declaration():
+        return []
+    problems: List[str] = []
+    for check in (_check_blocks, _check_operand_scope, _check_phis,
+                  _check_ssa_dominance, _check_unique_names):
+        try:
+            check(function)
+        except VerificationError as exc:
+            problems.append(str(exc))
+        except Exception as exc:  # a malformed CFG can break the checkers too
+            problems.append("{} crashed: {}".format(check.__name__, exc))
+    return problems
+
+
 # ---------------------------------------------------------------------------
 # Individual checks
 # ---------------------------------------------------------------------------

@@ -246,6 +246,23 @@ class Tracer:
         self.metrics.clear()
 
     @contextmanager
+    def suppress(self) -> Iterator[None]:
+        """Stop recording for a ``with`` block, restoring the previous state.
+
+        The self-check suite re-drives production code paths (the
+        disambiguator's pair queries) purely as an oracle; suppressing
+        around those calls keeps a verified run's captured timeline
+        span-identical to an unverified one.  Spans already open keep
+        recording — only spans *started* inside the block are dropped.
+        """
+        was_enabled = self.enabled
+        self.enabled = False
+        try:
+            yield
+        finally:
+            self.enabled = was_enabled
+
+    @contextmanager
     def capture(self) -> Iterator["Tracer"]:
         """Enable for a ``with`` block, disabling (buffer kept) on exit."""
         was_enabled = self.enabled

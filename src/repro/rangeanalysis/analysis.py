@@ -57,6 +57,8 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.api.config import (
+    ConfigError,
+    RANGE_SOLVERS,
     resolved_interval_kernel,
     resolved_range_solver,
     resolved_worklist_order,
@@ -266,8 +268,9 @@ class RangeAnalysis:
         self.argument_ranges = argument_ranges or {}
         self.ranges: Dict[Value, Interval] = {}
         self.solver = solver or default_range_solver()
-        if self.solver not in ("sparse", "dense"):
-            raise ValueError("unknown range solver {!r}".format(self.solver))
+        if self.solver not in RANGE_SOLVERS:
+            raise ConfigError("range_solver={!r} is not one of {}".format(
+                self.solver, "/".join(RANGE_SOLVERS)))
         self.order = validate_order(order or resolved_worklist_order())
         self.kernel = validate_kernel(kernel or resolved_interval_kernel())
         # The kernel backends plug into the ranked table solver; the boxed

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.api.config import ConfigError
 from repro.rangeanalysis.kernels.batch import BATCH_BACKEND, BatchKernelBackend
 from repro.rangeanalysis.kernels.opcodes import (
     OP_ADD,
@@ -55,10 +56,11 @@ _numpy_checked = False
 
 
 def validate_kernel(kernel: str) -> str:
-    """Return ``kernel`` or raise ``ValueError`` naming the accepted backends."""
+    """Return ``kernel`` or raise ``ConfigError`` naming the accepted backends."""
     if kernel not in KERNEL_BACKENDS:
-        raise ValueError("unknown interval kernel {!r} (expected one of {})".format(
-            kernel, "/".join(KERNEL_BACKENDS)))
+        raise ConfigError(
+            "interval_kernel={!r} is not one of {}".format(
+                kernel, "/".join(KERNEL_BACKENDS)))
     return kernel
 
 

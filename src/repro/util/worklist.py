@@ -61,6 +61,8 @@ from typing import (
     TypeVar,
 )
 
+from repro.api.config import ConfigError
+
 T = TypeVar("T", bound=Hashable)
 
 #: the registered worklist-ordering policies (the ``REPRO_WORKLIST_ORDER``
@@ -69,10 +71,11 @@ WORKLIST_ORDERS = ("fifo", "scc", "loopdepth")
 
 
 def validate_order(order: str) -> str:
-    """Return ``order`` or raise ``ValueError`` naming the accepted policies."""
+    """Return ``order`` or raise ``ConfigError`` naming the accepted policies."""
     if order not in WORKLIST_ORDERS:
-        raise ValueError("unknown worklist order {!r} (expected one of {})".format(
-            order, "/".join(WORKLIST_ORDERS)))
+        raise ConfigError(
+            "worklist_order={!r} is not one of {}".format(
+                order, "/".join(WORKLIST_ORDERS)))
     return order
 
 

@@ -35,7 +35,7 @@ ALL_VARS = (
     "REPRO_WORKERS", "REPRO_STORE", "REPRO_STORE_BACKEND",
     "REPRO_STORE_MAX_MB", "REPRO_RANGE_SOLVER", "REPRO_LT_SOLVER",
     "REPRO_WORKLIST_ORDER", "REPRO_INTERVAL_KERNEL", "REPRO_CLASS_LIMIT",
-    "REPRO_SYNTH_SEED", "REPRO_FULL",
+    "REPRO_SYNTH_SEED", "REPRO_FULL", "REPRO_VERIFY",
 )
 
 
@@ -59,6 +59,7 @@ def test_defaults_without_environment():
     assert config.class_limit == 64
     assert config.synth_seed == 7
     assert config.full_scale is False
+    assert config.verify == "off"
 
 
 def test_environment_resolution(monkeypatch):
@@ -73,6 +74,7 @@ def test_environment_resolution(monkeypatch):
     monkeypatch.setenv("REPRO_CLASS_LIMIT", "8")
     monkeypatch.setenv("REPRO_SYNTH_SEED", "11")
     monkeypatch.setenv("REPRO_FULL", "1")
+    monkeypatch.setenv("REPRO_VERIFY", "paranoid")
     config = ReproConfig()
     assert config.workers == 4
     assert config.store_path == "/tmp/store.sqlite"
@@ -86,6 +88,7 @@ def test_environment_resolution(monkeypatch):
     assert config.class_limit == 8
     assert config.synth_seed == 11
     assert config.full_scale is True
+    assert config.verify == "paranoid"
 
 
 def test_explicit_field_beats_environment(monkeypatch):
@@ -116,6 +119,7 @@ def test_zero_budget_means_unbounded():
     ("REPRO_CLASS_LIMIT", "-3"),
     ("REPRO_SYNTH_SEED", "x"),
     ("REPRO_FULL", "maybe"),
+    ("REPRO_VERIFY", "always"),
 ])
 def test_invalid_environment_values_raise(monkeypatch, env_var, value):
     monkeypatch.setenv(env_var, value)
@@ -133,6 +137,7 @@ def test_invalid_environment_values_raise(monkeypatch, env_var, value):
     ("worklist_order", "priority"),
     ("interval_kernel", "simd"),
     ("class_limit", -3),
+    ("verify", "always"),
 ])
 def test_invalid_explicit_values_name_the_field(field, value):
     with pytest.raises(ConfigError, match=field):

@@ -65,6 +65,20 @@ def test_readonly_missing_file_is_empty(tmp_path, backend):
     assert not os.path.exists(path)
 
 
+def test_zero_byte_file_is_a_fresh_store(tmp_path):
+    # touch(1) or an interrupted first write leaves a zero-byte file; the
+    # pickle backend must treat it as empty instead of raising EOFError.
+    path = str(tmp_path / "empty.pickle")
+    with open(path, "wb"):
+        pass
+    with AnalysisStore(path, backend="pickle") as store:
+        assert len(store) == 0
+        assert store.get("anything") is None
+        store.put("k", PAYLOAD)
+    with AnalysisStore(path, backend="pickle") as reopened:
+        assert reopened.get("k") == PAYLOAD
+
+
 def test_readonly_rejects_writes_and_version_mismatch_misses(tmp_path, backend):
     path = str(tmp_path / "store.bin")
     with AnalysisStore(path, version="v1", backend=backend) as store:

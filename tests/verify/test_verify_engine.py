@@ -1,0 +1,102 @@
+"""The ``REPRO_VERIFY`` knob through the engine and the Session facade.
+
+``post`` verifies after every in-process solve; ``paranoid`` additionally
+verifies inside pool workers and ships the report back through the shard
+payload (absorbed into the coordinator's counters, never leaking into
+verdict output).  ``Session.verify()`` is the programmatic surface, and
+``statistics()`` exposes the accumulated ``[verify]`` counters.
+"""
+
+import json
+
+import pytest
+
+from repro.api import ReproConfig, Session
+from repro.verify import COUNTERS
+
+SOURCE = """
+int sum(int *a, int n) {
+  int s = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    s = s + a[i];
+  }
+  return s;
+}
+"""
+
+
+@pytest.fixture(autouse=True)
+def fresh_counters():
+    COUNTERS.reset()
+    yield
+    COUNTERS.reset()
+
+
+def _verdict_map(result):
+    return {label: result.verdicts(label) for label in result.labels}
+
+
+def test_post_mode_verifies_in_process_solves():
+    with Session(ReproConfig(verify="post", workers=0)) as session:
+        session.run_workload([("m", SOURCE)], specs=(("lt",),), store=False)
+    assert COUNTERS.runs >= 1
+    assert COUNTERS.checks > 0
+    assert COUNTERS.errors == 0
+
+
+def test_off_mode_runs_no_checks():
+    with Session(ReproConfig(verify="off", workers=0)) as session:
+        session.run_workload([("m", SOURCE)], specs=(("lt",),), store=False)
+    assert COUNTERS.runs == 0
+
+
+def test_post_mode_does_not_change_verdicts():
+    with Session(ReproConfig(verify="off", workers=0)) as session:
+        plain = session.run_workload([("m", SOURCE)], store=False)
+    with Session(ReproConfig(verify="post", workers=0)) as session:
+        checked = session.run_workload([("m", SOURCE)], store=False)
+    assert _verdict_map(plain[0]) == _verdict_map(checked[0])
+    assert plain[0].statistics.as_dict() == checked[0].statistics.as_dict()
+
+
+def test_paranoid_pool_ships_reports_to_the_coordinator():
+    units = [("m{}".format(i), SOURCE) for i in range(3)]
+    with Session(ReproConfig(verify="paranoid", workers=2)) as session:
+        results = session.run_workload(units, specs=(("lt",),), store=False)
+    # The coordinator absorbed each worker's report...
+    assert COUNTERS.runs == len(units)
+    assert COUNTERS.checks > 0
+    assert COUNTERS.errors == 0
+    # ...and popped it from the payload, keeping verdict output clean.
+    for result in results:
+        assert "verify" not in result.payload
+
+
+def test_post_mode_skips_pool_workers_but_paranoid_does_not():
+    units = [("m", SOURCE), ("m2", SOURCE)]
+    with Session(ReproConfig(verify="post", workers=2)) as session:
+        session.run_workload(units, specs=(("lt",),), store=False)
+    # post: workers do not verify, nothing shipped, coordinator saw nothing.
+    assert COUNTERS.runs == 0
+
+
+def test_session_verify_and_statistics_counters():
+    with Session() as session:
+        unit = session.compile(SOURCE, name="m")
+        report = unit.analyze().verify()
+        assert report.ok
+        assert report.functions == 1
+        merged = session.verify()
+        assert merged.ok
+        stats = session.statistics()
+    assert stats["verify"]["runs"] == COUNTERS.runs
+    assert stats["verify"]["errors"] == 0
+    assert stats["verify"]["checks"] > 0
+
+
+def test_verify_report_is_json_serializable():
+    with Session() as session:
+        report = session.compile(SOURCE, name="m").analyze().verify()
+    payload = json.loads(json.dumps(report.as_dict()))
+    assert payload["functions"] == 1
+    assert payload["diagnostics"] == []
